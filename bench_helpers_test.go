@@ -1,0 +1,19 @@
+package repro
+
+import (
+	"repro/internal/array"
+	"repro/internal/engine"
+)
+
+// coreArray aliases the array engine type for the root bench fixtures.
+type coreArray = array.Array
+
+func coreNewArray(name string, patients, samples int64) (*coreArray, error) {
+	return array.New(name, []array.Dim{
+		{Name: "patient", Low: 1, High: patients},
+		{Name: "t", Low: 0, High: samples - 1},
+	}, []engine.Column{engine.Col("v", engine.TypeFloat)}, true)
+}
+
+// benchDuration reports a time.Duration as milliseconds for bench logs.
+var _ = coreNewArray

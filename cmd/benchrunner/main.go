@@ -1,0 +1,55 @@
+// Command benchrunner regenerates every experiment table of the
+// reproduction (E1–E10 in DESIGN.md) and prints them in the format
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchrunner [-quick] [-only E2,E5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		only  = flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E5)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			wanted[id] = true
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	tables, err := experiments.RunAll(cfg)
+	if err != nil {
+		// Print what completed before failing.
+		for _, t := range tables {
+			if len(wanted) == 0 || wanted[t.ID] {
+				fmt.Println(t)
+			}
+		}
+		log.Fatal(err)
+	}
+	for _, t := range tables {
+		if len(wanted) > 0 && !wanted[t.ID] {
+			continue
+		}
+		fmt.Println(t)
+	}
+	fmt.Printf("all experiments completed in %s (quick=%v, seed=%d)\n",
+		time.Since(start).Round(time.Millisecond), *quick, *seed)
+}

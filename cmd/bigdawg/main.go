@@ -1,0 +1,91 @@
+// Command bigdawg is an interactive shell over the polystore: it loads
+// the MIMIC II demo federation and accepts SCOPE/CAST queries on
+// stdin, one per line — the conference-goer experience of §4.
+//
+// Usage:
+//
+//	bigdawg [-patients 200]
+//	> POSTGRES(SELECT COUNT(*) FROM patients)
+//	> RELATIONAL(SELECT * FROM CAST(waveforms, relation) WHERE v > 1.5 LIMIT 5)
+//	> TEXT(search(notes, 'very sick', 3))
+//	> .objects          — list catalog entries
+//	> .islands          — list islands
+//	> .cast wf postgres — migrate an object
+//	> .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/mimic"
+)
+
+func main() {
+	patients := flag.Int("patients", 200, "demo dataset size")
+	flag.Parse()
+
+	cfg := mimic.DefaultConfig()
+	cfg.Patients = *patients
+	fmt.Printf("loading MIMIC II demo federation (%d patients)...\n", *patients)
+	sys, err := demo.Load(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sys.Poly
+	fmt.Printf("ready: %d objects across 4 engines, %d islands\n",
+		len(p.Objects()), len(core.Islands()))
+	fmt.Println(`type a SCOPE query like POSTGRES(SELECT COUNT(*) FROM patients), or .help`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("bigdawg> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println(`queries: ISLAND(body) with ISLAND ∈ RELATIONAL ARRAY TEXT STREAM D4M POSTGRES SCIDB ACCUMULO SSTORE
+commands: .objects .islands .cast <obj> <engine> .quit`)
+		case line == ".objects":
+			for _, o := range p.Objects() {
+				fmt.Printf("  %-20s %-10s (physical: %s)\n", o.Name, o.Engine, o.Physical)
+			}
+		case line == ".islands":
+			for _, i := range core.Islands() {
+				fmt.Println("  " + i)
+			}
+		case strings.HasPrefix(line, ".cast "):
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				fmt.Println("usage: .cast <object> <engine>")
+				break
+			}
+			res, err := p.Migrate(parts[1], core.EngineKind(parts[2]), core.CastOptions{})
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("migrated %s: %s → %s (%d rows, %s)\n",
+				res.Object, res.From, res.To, res.Rows, res.Elapsed.Round(time.Microsecond))
+		default:
+			start := time.Now()
+			rel, err := p.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Print(rel)
+			fmt.Printf("(%d rows, %s)\n", rel.Len(), time.Since(start).Round(time.Microsecond))
+		}
+		fmt.Print("bigdawg> ")
+	}
+}

@@ -1,0 +1,86 @@
+// Command quickstart is the smallest end-to-end BigDAWG program: build
+// a federation of two engines, register objects, and run SCOPE/CAST
+// queries across them — including the exact query form from §2.1 of
+// the paper:
+//
+//	RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func main() {
+	p := core.New()
+
+	// A relational table in the Postgres engine.
+	mustExec(p, `CREATE TABLE sensors (id INT PRIMARY KEY, room TEXT, kind TEXT)`)
+	mustExec(p, `INSERT INTO sensors VALUES (1,'icu_a','ecg'),(2,'icu_a','spo2'),(3,'icu_b','ecg')`)
+	must(p.Register("sensors", core.EnginePostgres, "sensors"))
+
+	// An array in the SciDB engine: A[i] = i².
+	a, err := array.New("A", []array.Dim{{Name: "i", Low: 0, High: 9}},
+		[]engine.Column{engine.Col("v", engine.TypeFloat)}, true)
+	must(err)
+	must(a.Fill(func(c []int64) engine.Tuple {
+		return engine.Tuple{engine.NewFloat(float64(c[0] * c[0]))}
+	}))
+	p.ArrayStore.Put(a)
+	must(p.Register("A", core.EngineSciDB, "A"))
+
+	fmt.Println("== degenerate islands (native languages) ==")
+	show(p, `POSTGRES(SELECT room, COUNT(*) AS n FROM sensors GROUP BY room ORDER BY room)`)
+	show(p, `SCIDB(aggregate(A, max(v)))`)
+
+	fmt.Println("== the paper's CAST example: relational query over an array ==")
+	show(p, `RELATIONAL(SELECT * FROM CAST(A, relation) WHERE v > 5)`)
+
+	fmt.Println("== location transparency: no CAST needed on the multi-engine island ==")
+	show(p, `RELATIONAL(SELECT COUNT(*) AS big_cells FROM A WHERE v > 5)`)
+
+	fmt.Println("== cross-island pipeline: ARRAY subquery feeding SQL ==")
+	show(p, `RELATIONAL(SELECT COUNT(*) AS n FROM CAST(ARRAY(filter(A, v % 2 = 0)), relation))`)
+}
+
+func mustExec(p *core.Polystore, sql string) {
+	if _, err := p.Relational.Execute(sql); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func show(p *core.Polystore, q string) {
+	fmt.Println("  query:", q)
+	rel, err := p.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range splitLines(rel.String()) {
+		fmt.Println("   ", line)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

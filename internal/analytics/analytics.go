@@ -1,0 +1,470 @@
+// Package analytics implements the complex-analytics layer of BigDAWG
+// (§2.4 of the paper): FFT, linear regression, PCA, k-means clustering
+// and power iteration — "the vast majority [of predictive models] are
+// based on linear algebra and often use recursion". The kernels operate
+// on plain float slices so they couple tightly to the array and TileDB
+// engines (no format conversion), which is exactly the design point the
+// paper argues for.
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FFT computes the discrete Fourier transform of a real signal using an
+// iterative radix-2 Cooley-Tukey algorithm. Input is zero-padded to the
+// next power of two.
+func FFT(signal []float64) []complex128 {
+	n := NextPow2(len(signal))
+	a := make([]complex128, n)
+	for i, v := range signal {
+		a[i] = complex(v, 0)
+	}
+	fftInPlace(a, false)
+	return a
+}
+
+// IFFT computes the inverse DFT. len(spectrum) must be a power of two.
+func IFFT(spectrum []complex128) ([]complex128, error) {
+	n := len(spectrum)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("analytics: IFFT length %d is not a power of two", n)
+	}
+	a := make([]complex128, n)
+	copy(a, spectrum)
+	fftInPlace(a, true)
+	inv := complex(1/float64(n), 0)
+	for i := range a {
+		a[i] *= inv
+	}
+	return a, nil
+}
+
+func fftInPlace(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// PowerSpectrum returns |FFT|² for the first n/2+1 bins (the one-sided
+// spectrum of a real signal).
+func PowerSpectrum(signal []float64) []float64 {
+	spec := FFT(signal)
+	half := len(spec)/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		out[i] = real(spec[i])*real(spec[i]) + imag(spec[i])*imag(spec[i])
+	}
+	return out
+}
+
+// DominantFrequency returns the non-DC bin with the highest power and
+// its frequency in Hz given the sampling rate.
+func DominantFrequency(signal []float64, sampleRate float64) (bin int, hz float64) {
+	ps := PowerSpectrum(signal)
+	best, bestP := 1, 0.0
+	for i := 1; i < len(ps); i++ {
+		if ps[i] > bestP {
+			best, bestP = i, ps[i]
+		}
+	}
+	n := NextPow2(len(signal))
+	return best, float64(best) * sampleRate / float64(n)
+}
+
+// LinearRegression fits y = b0 + b1*x1 + ... + bk*xk by least squares
+// via the normal equations. xs is row-major: one row per observation.
+// Returns the coefficient vector [b0, b1, ..., bk].
+func LinearRegression(xs [][]float64, y []float64) ([]float64, error) {
+	n := len(xs)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("analytics: regression needs matching non-empty xs and y")
+	}
+	k := len(xs[0])
+	d := k + 1 // with intercept
+	if n < d {
+		return nil, fmt.Errorf("analytics: regression needs at least %d observations, got %d", d, n)
+	}
+	// Build X'X (d×d) and X'y (d).
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		if len(xs[i]) != k {
+			return nil, fmt.Errorf("analytics: ragged xs at row %d", i)
+		}
+		row[0] = 1
+		copy(row[1:], xs[i])
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+			xty[a] += row[a] * y[i]
+		}
+	}
+	coef, err := SolveLinearSystem(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("analytics: singular design matrix: %w", err)
+	}
+	return coef, nil
+}
+
+// RSquared computes the coefficient of determination of a fitted model.
+func RSquared(xs [][]float64, y []float64, coef []float64) float64 {
+	meanY := Mean(y)
+	var ssTot, ssRes float64
+	for i, row := range xs {
+		pred := coef[0]
+		for j, x := range row {
+			pred += coef[j+1] * x
+		}
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// SolveLinearSystem solves Ax = b by Gaussian elimination with partial
+// pivoting. A is modified in place conceptually (a copy is taken).
+func SolveLinearSystem(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("analytics: malformed system")
+	}
+	// Augmented copy.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("analytics: non-square matrix")
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("analytics: singular matrix at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := m[r][n]
+		for c := r + 1; c < n; c++ {
+			sum -= m[r][c] * x[c]
+		}
+		x[r] = sum / m[r][r]
+	}
+	return x, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, v := range xs {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Correlation returns the Pearson correlation of two equal-length series.
+func Correlation(x, y []float64) (float64, error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, fmt.Errorf("analytics: correlation needs two equal series of length ≥ 2")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("analytics: zero variance series")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// NormalizedRMSE returns RMSE(a,b) divided by the standard deviation of
+// b; it is the waveform-vs-reference distance used by the real-time
+// anomaly monitor.
+func NormalizedRMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("analytics: NRMSE needs equal non-empty series")
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	rmse := math.Sqrt(ss / float64(len(a)))
+	sd := StdDev(b)
+	if sd == 0 {
+		return rmse, nil
+	}
+	return rmse / sd, nil
+}
+
+// PowerIteration finds the dominant eigenvalue/eigenvector of the
+// linear operator matvec (n×n) by repeated multiplication — the
+// paper's example of recursion in complex analytics.
+func PowerIteration(matvec func(x []float64) []float64, n, iters int) (float64, []float64, error) {
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("analytics: power iteration needs n > 0")
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		w := matvec(v)
+		if len(w) != n {
+			return 0, nil, fmt.Errorf("analytics: matvec returned %d entries, want %d", len(w), n)
+		}
+		norm := 0.0
+		for _, x := range w {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0, v, nil // operator annihilated v
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		lambda = dot(matvec(w), w)
+		v = w
+	}
+	return lambda, v, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// PCA computes the top-k principal components of row-major data by
+// power iteration with deflation on the covariance matrix. Returns the
+// component vectors (k×d) and their explained variances.
+func PCA(data [][]float64, k int) ([][]float64, []float64, error) {
+	n := len(data)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("analytics: PCA needs ≥ 2 observations")
+	}
+	d := len(data[0])
+	if k <= 0 || k > d {
+		return nil, nil, fmt.Errorf("analytics: PCA k=%d out of range (d=%d)", k, d)
+	}
+	// Covariance matrix.
+	means := make([]float64, d)
+	for _, row := range data {
+		if len(row) != d {
+			return nil, nil, fmt.Errorf("analytics: ragged PCA input")
+		}
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range data {
+		for i := 0; i < d; i++ {
+			di := row[i] - means[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - means[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	comps := make([][]float64, 0, k)
+	vars := make([]float64, 0, k)
+	for c := 0; c < k; c++ {
+		matvec := func(x []float64) []float64 {
+			y := make([]float64, d)
+			for i := 0; i < d; i++ {
+				y[i] = dot(cov[i], x)
+			}
+			return y
+		}
+		lambda, vec, err := PowerIteration(matvec, d, 200)
+		if err != nil {
+			return nil, nil, err
+		}
+		comps = append(comps, vec)
+		vars = append(vars, lambda)
+		// Deflate: cov -= lambda * vec vecᵀ.
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				cov[i][j] -= lambda * vec[i] * vec[j]
+			}
+		}
+	}
+	return comps, vars, nil
+}
+
+// KMeans clusters row-major points into k clusters with Lloyd's
+// algorithm, deterministic given the seed. Returns centroids and the
+// per-point assignment.
+func KMeans(points [][]float64, k, maxIters int, seed int64) ([][]float64, []int, error) {
+	n := len(points)
+	if n == 0 || k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("analytics: k-means needs 0 < k ≤ n")
+	}
+	d := len(points[0])
+	rng := seed*2862933555777941757 + 3037000493
+	next := func(bound int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := (rng >> 33) % int64(bound)
+		if v < 0 {
+			v += int64(bound)
+		}
+		return int(v)
+	}
+	centroids := make([][]float64, k)
+	used := map[int]bool{}
+	for c := 0; c < k; c++ {
+		i := next(n)
+		for used[i] {
+			i = (i + 1) % n
+		}
+		used[i] = true
+		centroids[c] = append([]float64(nil), points[i]...)
+	}
+	assign := make([]int, n)
+	for it := 0; it < maxIters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				dist := 0.0
+				for j := 0; j < d; j++ {
+					dd := p[j] - cent[j]
+					dist += dd * dd
+				}
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep old centroid for empty cluster
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return centroids, assign, nil
+}

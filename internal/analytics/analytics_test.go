@@ -1,0 +1,283 @@
+package analytics
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTKnownSpectrum(t *testing.T) {
+	// A pure sinusoid at bin 8 of a 64-sample window.
+	const n = 64
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * 8 * float64(i) / n)
+	}
+	spec := FFT(sig)
+	if len(spec) != n {
+		t.Fatalf("spectrum length %d", len(spec))
+	}
+	// Energy concentrated at bins 8 and 56 (=n-8).
+	for i, c := range spec {
+		mag := cmplx.Abs(c)
+		if i == 8 || i == n-8 {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Errorf("bin %d magnitude %v, want %v", i, mag, n/2)
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d should be ~0, got %v", i, mag)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 256 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		spec := FFT(raw)
+		back, err := IFFT(spec)
+		if err != nil {
+			return false
+		}
+		for i, v := range raw {
+			if math.Abs(real(back[i])-v) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	if _, err := IFFT(make([]complex128, 3)); err == nil {
+		t.Error("non-power-of-two IFFT should fail")
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	// 5 Hz sine sampled at 125 Hz for 2 seconds.
+	const rate, seconds, freq = 125.0, 2, 5.0
+	n := int(rate * seconds)
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * freq * float64(i) / rate)
+	}
+	_, hz := DominantFrequency(sig, rate)
+	if math.Abs(hz-freq) > 0.5 {
+		t.Errorf("dominant frequency %v Hz, want ~%v", hz, freq)
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	// y = 3 + 2a - b, noiseless.
+	var xs [][]float64
+	var y []float64
+	for a := 0.0; a < 5; a++ {
+		for b := 0.0; b < 5; b++ {
+			xs = append(xs, []float64{a, b})
+			y = append(y, 3+2*a-b)
+		}
+	}
+	coef, err := LinearRegression(xs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if math.Abs(coef[i]-want[i]) > 1e-9 {
+			t.Errorf("coef[%d] = %v, want %v", i, coef[i], want[i])
+		}
+	}
+	if r2 := RSquared(xs, y, coef); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R² = %v, want 1", r2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression(nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := LinearRegression([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("n < params should fail")
+	}
+	// Collinear columns → singular.
+	xs := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	if _, err := LinearRegression(xs, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("collinear design should fail")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	x, err := SolveLinearSystem(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution %v, want [1 3]", x)
+	}
+	if _, err := SolveLinearSystem([][]float64{{0, 0}, {0, 0}}, []float64{1, 1}); err == nil {
+		t.Error("singular should fail")
+	}
+	if _, err := SolveLinearSystem([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("stddev = %v", sd)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("degenerate stats")
+	}
+	c, err := Correlation([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || math.Abs(c-1) > 1e-12 {
+		t.Errorf("perfect correlation: %v %v", c, err)
+	}
+	c, _ = Correlation([]float64{1, 2, 3}, []float64{3, 2, 1})
+	if math.Abs(c+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation: %v", c)
+	}
+	if _, err := Correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance should fail")
+	}
+}
+
+func TestNormalizedRMSE(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if d, err := NormalizedRMSE(a, a); err != nil || d != 0 {
+		t.Errorf("identical series NRMSE = %v %v", d, err)
+	}
+	b := []float64{2, 3, 4, 5}
+	d, err := NormalizedRMSE(a, b)
+	if err != nil || d <= 0 {
+		t.Errorf("shifted series NRMSE = %v %v", d, err)
+	}
+	if _, err := NormalizedRMSE(a, a[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	// Matrix [[4 1],[2 3]] has eigenvalues 5 and 2.
+	m := [][]float64{{4, 1}, {2, 3}}
+	matvec := func(x []float64) []float64 {
+		return []float64{m[0][0]*x[0] + m[0][1]*x[1], m[1][0]*x[0] + m[1][1]*x[1]}
+	}
+	lambda, vec, err := PowerIteration(matvec, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-5) > 1e-6 {
+		t.Errorf("dominant eigenvalue %v, want 5", lambda)
+	}
+	// Eigenvector for λ=5 is ∝ (1,1).
+	if math.Abs(math.Abs(vec[0])-math.Abs(vec[1])) > 1e-6 {
+		t.Errorf("eigenvector %v, want ∝ (1,1)", vec)
+	}
+	if _, _, err := PowerIteration(matvec, 0, 10); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestPCA(t *testing.T) {
+	// Points along the line y = 2x with small orthogonal jitter: the
+	// first component must be ∝ (1,2)/√5.
+	var data [][]float64
+	for i := -10; i <= 10; i++ {
+		x := float64(i)
+		jitter := 0.01 * float64(i%3)
+		data = append(data, []float64{x - 2*jitter/math.Sqrt(5), 2*x + jitter/math.Sqrt(5)})
+	}
+	comps, vars, err := PCA(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := comps[0]
+	ratio := c0[1] / c0[0]
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("first component slope %v, want 2", ratio)
+	}
+	if vars[0] < 100*vars[1] {
+		t.Errorf("variance ordering: %v", vars)
+	}
+	if _, _, err := PCA(data, 5); err == nil {
+		t.Error("k > d should fail")
+	}
+	if _, _, err := PCA(data[:1], 1); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	var pts [][]float64
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{float64(i%5) * 0.1, float64(i%7) * 0.1})       // near origin
+		pts = append(pts, []float64{10 + float64(i%5)*0.1, 10 + float64(i%7)*0.1}) // near (10,10)
+	}
+	cents, assign, err := KMeans(pts, 2, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points at even indexes (origin cluster) must share one label, odd
+	// indexes the other.
+	a0 := assign[0]
+	for i := 0; i < len(pts); i += 2 {
+		if assign[i] != a0 {
+			t.Fatalf("origin cluster split at %d", i)
+		}
+	}
+	if assign[1] == a0 {
+		t.Fatal("clusters merged")
+	}
+	// Centroids near (0.2,0.3) and (10.2,10.3).
+	lo, hi := cents[a0], cents[assign[1]]
+	if lo[0] > 1 || hi[0] < 9 {
+		t.Errorf("centroids: %v", cents)
+	}
+	if _, _, err := KMeans(pts, 0, 10, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := KMeans(pts, len(pts)+1, 10, 1); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 2}, {9, 9}, {9, 8}, {5, 5}}
+	c1, a1, _ := KMeans(pts, 2, 20, 7)
+	c2, a2, _ := KMeans(pts, 2, 20, 7)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("k-means not deterministic for same seed")
+		}
+	}
+	for i := range c1 {
+		for j := range c1[i] {
+			if c1[i][j] != c2[i][j] {
+				t.Fatal("centroids not deterministic")
+			}
+		}
+	}
+}

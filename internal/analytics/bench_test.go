@@ -1,0 +1,85 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+)
+
+func benchSignal(n int) []float64 {
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = math.Sin(2*math.Pi*float64(i)/125) + 0.3*math.Sin(2*math.Pi*float64(i)/17)
+	}
+	return sig
+}
+
+func BenchmarkFFT(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14} {
+		sig := benchSignal(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = FFT(sig)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "1M"
+	case n >= 1<<14:
+		return "16k"
+	default:
+		return "1k"
+	}
+}
+
+func BenchmarkLinearRegression(b *testing.B) {
+	const n = 5_000
+	xs := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range xs {
+		x1, x2 := float64(i%97), float64((i*13)%89)
+		xs[i] = []float64{x1, x2}
+		y[i] = 3 + 2*x1 - x2 + float64(i%5)/10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LinearRegression(xs, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCA(b *testing.B) {
+	const n, d = 2_000, 8
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = float64((i*(j+3))%101) / 10
+		}
+		data[i] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PCA(data, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	const n = 2_000
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{float64(i % 37), float64((i * 7) % 41)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := KMeans(pts, 4, 20, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

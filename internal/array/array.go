@@ -1,0 +1,353 @@
+// Package array implements BigDAWG's SciDB substitute: an n-dimensional
+// array engine with named dimensions, typed attributes, chunked dense
+// and sparse storage, and AQL-style operators (filter, subarray, apply,
+// regrid, window, aggregate, matrix multiply, transpose). It backs the
+// array island and the SciDB degenerate island; MIMIC II historical
+// waveforms live here.
+package array
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Dim is one array dimension with an inclusive integer domain
+// [Low, High] and a chunk length used to tile storage.
+type Dim struct {
+	Name      string
+	Low, High int64
+	Chunk     int64
+}
+
+// Len returns the number of coordinates along the dimension.
+func (d Dim) Len() int64 { return d.High - d.Low + 1 }
+
+// Array is a multidimensional array: dimensions plus one or more typed
+// attributes. Dense arrays preallocate a value vector per attribute over
+// the whole domain; sparse arrays keep a map of populated cells.
+//
+// Cells of a dense array that were never written hold NULL, matching
+// SciDB's "empty cell" semantics closely enough for the demo workloads.
+type Array struct {
+	Name  string
+	Dims  []Dim
+	Attrs []engine.Column
+
+	dense  bool
+	data   [][]engine.Value       // dense: per attribute, row-major
+	filled []bool                 // dense: cell occupancy
+	cells  map[int64]engine.Tuple // sparse: linear index -> attr values
+	count  int64                  // populated cell count
+}
+
+// New creates an array. Dense arrays must have a bounded domain small
+// enough to preallocate; sparse arrays only store populated cells.
+func New(name string, dims []Dim, attrs []engine.Column, dense bool) (*Array, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("array: %s: need at least one dimension", name)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("array: %s: need at least one attribute", name)
+	}
+	total := int64(1)
+	for i, d := range dims {
+		if d.High < d.Low {
+			return nil, fmt.Errorf("array: %s: dimension %s has empty domain", name, d.Name)
+		}
+		if d.Chunk <= 0 {
+			dims[i].Chunk = d.Len()
+		}
+		if dense {
+			if d.Len() > (1<<31) || total > (1<<31)/d.Len() {
+				return nil, fmt.Errorf("array: %s: dense domain too large", name)
+			}
+			total *= d.Len()
+		}
+	}
+	a := &Array{Name: name, Dims: dims, Attrs: attrs, dense: dense}
+	if dense {
+		a.data = make([][]engine.Value, len(attrs))
+		for i := range a.data {
+			a.data[i] = make([]engine.Value, total)
+		}
+		a.filled = make([]bool, total)
+	} else {
+		a.cells = map[int64]engine.Tuple{}
+	}
+	return a, nil
+}
+
+// Dense reports whether the array uses dense storage.
+func (a *Array) Dense() bool { return a.dense }
+
+// Count returns the number of populated cells.
+func (a *Array) Count() int64 { return a.count }
+
+// linear maps coordinates to a row-major linear index.
+func (a *Array) linear(coords []int64) (int64, error) {
+	if len(coords) != len(a.Dims) {
+		return 0, fmt.Errorf("array: %s: got %d coords, want %d", a.Name, len(coords), len(a.Dims))
+	}
+	var idx int64
+	for i, d := range a.Dims {
+		c := coords[i]
+		if c < d.Low || c > d.High {
+			return 0, fmt.Errorf("array: %s: coordinate %s=%d outside [%d,%d]", a.Name, d.Name, c, d.Low, d.High)
+		}
+		idx = idx*d.Len() + (c - d.Low)
+	}
+	return idx, nil
+}
+
+// delinear inverts linear into the provided coords slice.
+func (a *Array) delinear(idx int64, coords []int64) {
+	for i := len(a.Dims) - 1; i >= 0; i-- {
+		d := a.Dims[i]
+		coords[i] = d.Low + idx%d.Len()
+		idx /= d.Len()
+	}
+}
+
+// Set writes one cell's attribute values.
+func (a *Array) Set(coords []int64, vals engine.Tuple) error {
+	if len(vals) != len(a.Attrs) {
+		return fmt.Errorf("array: %s: got %d values, want %d attrs", a.Name, len(vals), len(a.Attrs))
+	}
+	idx, err := a.linear(coords)
+	if err != nil {
+		return err
+	}
+	if a.dense {
+		if !a.filled[idx] {
+			a.filled[idx] = true
+			a.count++
+		}
+		for i, v := range vals {
+			a.data[i][idx] = v
+		}
+		return nil
+	}
+	if _, ok := a.cells[idx]; !ok {
+		a.count++
+	}
+	a.cells[idx] = vals.Clone()
+	return nil
+}
+
+// Get reads one cell; ok is false for empty cells.
+func (a *Array) Get(coords []int64) (engine.Tuple, bool, error) {
+	idx, err := a.linear(coords)
+	if err != nil {
+		return nil, false, err
+	}
+	if a.dense {
+		if !a.filled[idx] {
+			return nil, false, nil
+		}
+		t := make(engine.Tuple, len(a.Attrs))
+		for i := range t {
+			t[i] = a.data[i][idx]
+		}
+		return t, true, nil
+	}
+	t, ok := a.cells[idx]
+	if !ok {
+		return nil, false, nil
+	}
+	return t.Clone(), true, nil
+}
+
+// Fill populates every cell of the domain from fn(coords). Intended for
+// dense arrays and synthetic data loading.
+func (a *Array) Fill(fn func(coords []int64) engine.Tuple) error {
+	coords := make([]int64, len(a.Dims))
+	total := int64(1)
+	for _, d := range a.Dims {
+		total *= d.Len()
+	}
+	for idx := int64(0); idx < total; idx++ {
+		a.delinear(idx, coords)
+		if err := a.Set(coords, fn(coords)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Iterate calls fn for every populated cell in row-major order. The
+// coords and vals slices are reused across calls; clone to retain.
+func (a *Array) Iterate(fn func(coords []int64, vals engine.Tuple) error) error {
+	coords := make([]int64, len(a.Dims))
+	if a.dense {
+		vals := make(engine.Tuple, len(a.Attrs))
+		for idx := range a.filled {
+			if !a.filled[idx] {
+				continue
+			}
+			a.delinear(int64(idx), coords)
+			for i := range vals {
+				vals[i] = a.data[i][idx]
+			}
+			if err := fn(coords, vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Sparse: iterate in sorted linear order for determinism.
+	idxs := make([]int64, 0, len(a.cells))
+	for idx := range a.cells {
+		idxs = append(idxs, idx)
+	}
+	sortInt64s(idxs)
+	for _, idx := range idxs {
+		a.delinear(idx, coords)
+		if err := fn(coords, a.cells[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortInt64s(s []int64) {
+	// Insertion-free: stdlib sort via interface would allocate; a simple
+	// pdq-ish shell sort keeps it dependency-free and fast enough.
+	for gap := len(s) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(s); i++ {
+			for j := i; j >= gap && s[j] < s[j-gap]; j -= gap {
+				s[j], s[j-gap] = s[j-gap], s[j]
+			}
+		}
+	}
+}
+
+// cellSchema is the relation schema of flattened cells: dims then attrs.
+func (a *Array) cellSchema() engine.Schema {
+	cols := make([]engine.Column, 0, len(a.Dims)+len(a.Attrs))
+	for _, d := range a.Dims {
+		cols = append(cols, engine.Col(d.Name, engine.TypeInt))
+	}
+	cols = append(cols, a.Attrs...)
+	return engine.Schema{Columns: cols}
+}
+
+// Scan flattens the array into a relation with one row per populated
+// cell: dimension columns followed by attribute columns. This is the
+// CAST egress path from the array island.
+func (a *Array) Scan() *engine.Relation {
+	rel := engine.NewRelation(a.cellSchema())
+	rel.Tuples = make([]engine.Tuple, 0, a.count)
+	_ = a.Iterate(func(coords []int64, vals engine.Tuple) error {
+		row := make(engine.Tuple, 0, len(coords)+len(vals))
+		for _, c := range coords {
+			row = append(row, engine.NewInt(c))
+		}
+		row = append(row, vals...)
+		rel.Tuples = append(rel.Tuples, row)
+		return nil
+	})
+	return rel
+}
+
+// FromRelation builds a sparse array from a relation whose first columns
+// are integer coordinates named after dims. This is the CAST ingest path
+// into the array island.
+func FromRelation(name string, rel *engine.Relation, dimNames []string, dense bool) (*Array, error) {
+	if rel.Len() == 0 {
+		return nil, fmt.Errorf("array: cannot infer array %s from empty relation", name)
+	}
+	dimIdx := make([]int, len(dimNames))
+	for i, dn := range dimNames {
+		j, err := rel.Schema.MustIndex(dn)
+		if err != nil {
+			return nil, err
+		}
+		dimIdx[i] = j
+	}
+	isDim := map[int]bool{}
+	for _, j := range dimIdx {
+		isDim[j] = true
+	}
+	var attrs []engine.Column
+	var attrIdx []int
+	for j, c := range rel.Schema.Columns {
+		if !isDim[j] {
+			attrs = append(attrs, c)
+			attrIdx = append(attrIdx, j)
+		}
+	}
+	dims := make([]Dim, len(dimNames))
+	for i, dn := range dimNames {
+		lo, hi := int64(1<<62), int64(-1<<62)
+		for _, row := range rel.Tuples {
+			c := row[dimIdx[i]].AsInt()
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		dims[i] = Dim{Name: dn, Low: lo, High: hi}
+	}
+	a, err := New(name, dims, attrs, dense)
+	if err != nil {
+		return nil, err
+	}
+	coords := make([]int64, len(dimNames))
+	for _, row := range rel.Tuples {
+		for i, j := range dimIdx {
+			coords[i] = row[j].AsInt()
+		}
+		vals := make(engine.Tuple, len(attrIdx))
+		for i, j := range attrIdx {
+			vals[i] = row[j]
+		}
+		if err := a.Set(coords, vals); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// attrIndex finds the position of the named attribute.
+func (a *Array) attrIndex(name string) (int, error) {
+	for i, at := range a.Attrs {
+		if strings.EqualFold(at.Name, name) {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("array: %s: no attribute %q", a.Name, name)
+}
+
+// Floats extracts one attribute of a 1-D array as a dense float slice
+// ordered by coordinate, with NaN for empty cells. Used by the
+// analytics package (FFT, regression) for tight coupling with the array
+// engine — the design §2.4 of the paper argues for.
+func (a *Array) Floats(attr string) ([]float64, error) {
+	if len(a.Dims) != 1 {
+		return nil, fmt.Errorf("array: %s: Floats requires 1-D array", a.Name)
+	}
+	ai, err := a.attrIndex(attr)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Dims[0].Len()
+	out := make([]float64, n)
+	if a.dense {
+		for i := int64(0); i < n; i++ {
+			out[i] = a.data[ai][i].AsFloat()
+		}
+		return out, nil
+	}
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	for idx, vals := range a.cells {
+		out[idx] = vals[ai].AsFloat()
+	}
+	return out, nil
+}

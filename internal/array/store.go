@@ -1,0 +1,348 @@
+package array
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Store is the array engine's catalog: named arrays behind a RW lock,
+// plus a textual query interface in an AFL (SciDB array functional
+// language) style:
+//
+//	scan(A)
+//	filter(A, v > 0.5 AND t < 100)
+//	subarray(A, lo..., hi...)
+//	apply(A, name, expr)
+//	regrid(A, block..., agg(attr))
+//	window(A, radius, agg(attr))
+//	aggregate(A, agg(attr) [, dim])
+//	transpose(A)
+//	multiply(A, B [, attrA, attrB])
+//
+// The first argument of every operator may itself be a nested call, so
+// pipelines compose: aggregate(filter(wf, v > 0), avg(v)).
+type Store struct {
+	mu     sync.RWMutex
+	arrays map[string]*Array
+
+	queries      atomic.Int64
+	cellsScanned atomic.Int64
+}
+
+// Stats counts engine work for the cross-system monitor.
+type Stats struct {
+	Queries      int64
+	CellsScanned int64
+}
+
+// NewStore creates an empty array store.
+func NewStore() *Store { return &Store{arrays: map[string]*Array{}} }
+
+// Stats returns a snapshot of the engine counters.
+func (s *Store) Stats() Stats {
+	return Stats{Queries: s.queries.Load(), CellsScanned: s.cellsScanned.Load()}
+}
+
+// Put registers an array under its name, replacing any previous one.
+func (s *Store) Put(a *Array) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.arrays[strings.ToLower(a.Name)] = a
+}
+
+// Get fetches an array by name.
+func (s *Store) Get(name string) (*Array, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.arrays[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("array: no array %q", name)
+	}
+	return a, nil
+}
+
+// Remove drops an array.
+func (s *Store) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.arrays[key]; !ok {
+		return fmt.Errorf("array: no array %q", name)
+	}
+	delete(s.arrays, key)
+	return nil
+}
+
+// Names lists stored arrays.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.arrays))
+	for _, a := range s.arrays {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Query parses and executes one AFL query, returning the result as a
+// flattened relation.
+func (s *Store) Query(q string) (*engine.Relation, error) {
+	s.queries.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	q = strings.TrimSpace(q)
+	name, args, isCall, err := splitCall(q)
+	if err != nil {
+		return nil, err
+	}
+	if isCall && strings.EqualFold(name, "aggregate") {
+		return s.evalAggregate(args)
+	}
+	a, err := s.evalArray(q)
+	if err != nil {
+		return nil, err
+	}
+	s.cellsScanned.Add(a.Count())
+	return a.Scan(), nil
+}
+
+// evalArray evaluates a query term that denotes an array.
+func (s *Store) evalArray(q string) (*Array, error) {
+	q = strings.TrimSpace(q)
+	name, args, isCall, err := splitCall(q)
+	if err != nil {
+		return nil, err
+	}
+	if !isCall {
+		a, ok := s.arrays[strings.ToLower(q)]
+		if !ok {
+			return nil, fmt.Errorf("array: no array %q", q)
+		}
+		return a, nil
+	}
+	switch strings.ToLower(name) {
+	case "scan":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("array: scan takes 1 argument")
+		}
+		return s.evalArray(args[0])
+	case "filter":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("array: filter takes 2 arguments")
+		}
+		in, err := s.evalArray(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return in.Filter(args[1])
+	case "apply":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("array: apply takes 3 arguments")
+		}
+		in, err := s.evalArray(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return in.Apply(strings.TrimSpace(args[1]), args[2])
+	case "subarray":
+		if len(args) < 3 {
+			return nil, fmt.Errorf("array: subarray takes array, lo..., hi...")
+		}
+		in, err := s.evalArray(args[0])
+		if err != nil {
+			return nil, err
+		}
+		nd := len(in.Dims)
+		if len(args) != 1+2*nd {
+			return nil, fmt.Errorf("array: subarray of %d-D array needs %d bounds", nd, 2*nd)
+		}
+		lo := make([]int64, nd)
+		hi := make([]int64, nd)
+		for i := 0; i < nd; i++ {
+			if lo[i], err = parseI64(args[1+i]); err != nil {
+				return nil, err
+			}
+			if hi[i], err = parseI64(args[1+nd+i]); err != nil {
+				return nil, err
+			}
+		}
+		return in.Subarray(lo, hi)
+	case "regrid":
+		if len(args) < 3 {
+			return nil, fmt.Errorf("array: regrid takes array, block..., agg(attr)")
+		}
+		in, err := s.evalArray(args[0])
+		if err != nil {
+			return nil, err
+		}
+		nd := len(in.Dims)
+		if len(args) != 2+nd {
+			return nil, fmt.Errorf("array: regrid of %d-D array needs %d block sizes", nd, nd)
+		}
+		block := make([]int64, nd)
+		for i := 0; i < nd; i++ {
+			if block[i], err = parseI64(args[1+i]); err != nil {
+				return nil, err
+			}
+		}
+		kind, attr, err := parseAgg(args[1+nd])
+		if err != nil {
+			return nil, err
+		}
+		return in.Regrid(block, kind, attr)
+	case "window":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("array: window takes array, radius, agg(attr)")
+		}
+		in, err := s.evalArray(args[0])
+		if err != nil {
+			return nil, err
+		}
+		radius, err := parseI64(args[1])
+		if err != nil {
+			return nil, err
+		}
+		kind, attr, err := parseAgg(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return in.Window(radius, kind, attr)
+	case "transpose":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("array: transpose takes 1 argument")
+		}
+		in, err := s.evalArray(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return in.Transpose()
+	case "multiply":
+		if len(args) != 2 && len(args) != 4 {
+			return nil, fmt.Errorf("array: multiply takes 2 arrays (+ optional attrs)")
+		}
+		a, err := s.evalArray(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.evalArray(args[1])
+		if err != nil {
+			return nil, err
+		}
+		attrA, attrB := a.Attrs[0].Name, b.Attrs[0].Name
+		if len(args) == 4 {
+			attrA, attrB = strings.TrimSpace(args[2]), strings.TrimSpace(args[3])
+		}
+		return Matmul(a, b, attrA, attrB)
+	case "aggregate":
+		return nil, fmt.Errorf("array: aggregate returns a scalar; use it at top level")
+	default:
+		return nil, fmt.Errorf("array: unknown operator %q", name)
+	}
+}
+
+// evalAggregate handles top-level aggregate(A, agg(attr) [, dim]).
+func (s *Store) evalAggregate(args []string) (*engine.Relation, error) {
+	if len(args) != 2 && len(args) != 3 {
+		return nil, fmt.Errorf("array: aggregate takes array, agg(attr) [, dim]")
+	}
+	in, err := s.evalArray(args[0])
+	if err != nil {
+		return nil, err
+	}
+	kind, attr, err := parseAgg(args[1])
+	if err != nil {
+		return nil, err
+	}
+	s.cellsScanned.Add(in.Count())
+	if len(args) == 3 {
+		out, err := in.AggregateBy(kind, attr, strings.TrimSpace(args[2]))
+		if err != nil {
+			return nil, err
+		}
+		return out.Scan(), nil
+	}
+	v, err := in.Aggregate(kind, attr)
+	if err != nil {
+		return nil, err
+	}
+	rel := engine.NewRelation(engine.NewSchema(engine.Col(string(kind)+"_"+attr, engine.TypeFloat)))
+	_ = rel.Append(engine.Tuple{v})
+	return rel, nil
+}
+
+// splitCall splits "name(arg1, arg2, ...)" into name and raw args,
+// respecting nesting and quotes. isCall is false for a bare identifier.
+func splitCall(q string) (name string, args []string, isCall bool, err error) {
+	open := strings.IndexByte(q, '(')
+	if open < 0 {
+		return q, nil, false, nil
+	}
+	name = strings.TrimSpace(q[:open])
+	if name == "" || !strings.HasSuffix(strings.TrimSpace(q), ")") {
+		return "", nil, false, fmt.Errorf("array: malformed call %q", q)
+	}
+	body := strings.TrimSpace(q)
+	body = body[open+1 : len(body)-1]
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case inStr:
+			if c == '\'' {
+				inStr = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+			if depth < 0 {
+				return "", nil, false, fmt.Errorf("array: unbalanced parens in %q", q)
+			}
+		case c == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(body[start:i]))
+			start = i + 1
+		}
+	}
+	if depth != 0 || inStr {
+		return "", nil, false, fmt.Errorf("array: unbalanced call %q", q)
+	}
+	if tail := strings.TrimSpace(body[start:]); tail != "" || len(args) > 0 {
+		args = append(args, tail)
+	}
+	return name, args, true, nil
+}
+
+func parseI64(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("array: expected integer, got %q", s)
+	}
+	return v, nil
+}
+
+// parseAgg parses "agg(attr)" like sum(v).
+func parseAgg(s string) (AggKind, string, error) {
+	name, args, isCall, err := splitCall(strings.TrimSpace(s))
+	if err != nil {
+		return "", "", err
+	}
+	if !isCall || len(args) != 1 {
+		return "", "", fmt.Errorf("array: expected agg(attr), got %q", s)
+	}
+	kind := AggKind(strings.ToLower(name))
+	switch kind {
+	case AggSum, AggAvg, AggMin, AggMax, AggCount, AggStdev:
+		return kind, strings.TrimSpace(args[0]), nil
+	default:
+		return "", "", fmt.Errorf("array: unknown aggregate %q", name)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/d4m"
+	"repro/internal/engine"
+)
+
+// d4mIsland evaluates the D4M island's expression language over
+// associative arrays and returns the result as (row, col, val) triples
+// (or hop distances for bfs). Expressions compose:
+//
+//	assoc(obj [, rowCol, colCol, valCol])   — build from any object
+//	transpose(X)        multiply(X, Y)      add(X, Y)
+//	elementmul(X, Y)    sumrows(X)
+//	filter(X, op, num)  — op ∈ { > >= < <= = <> }
+//	subsetrows(X, 'lo', 'hi')   subsetcols(X, 'lo', 'hi')
+//	bfs(X, 'start', maxHops)
+//
+// assoc() without explicit columns understands the kvstore dump shape
+// natively (D4M's standard Accumulo mapping) and otherwise expects
+// (row, col, val) columns.
+func (p *Polystore) d4mIsland(body string) (*engine.Relation, error) {
+	cmd, args, err := parseCommand(body)
+	if err != nil {
+		return nil, err
+	}
+	if cmd == "bfs" {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("core: bfs(X, 'start', maxHops)")
+		}
+		a, err := p.evalD4M(args[0])
+		if err != nil {
+			return nil, err
+		}
+		hops, err := strconv.Atoi(strings.TrimSpace(args[2]))
+		if err != nil {
+			return nil, fmt.Errorf("core: bad maxHops %q", args[2])
+		}
+		dist := a.BFS(unquote(args[1]), hops)
+		rel := engine.NewRelation(engine.NewSchema(
+			engine.Col("node", engine.TypeString), engine.Col("hops", engine.TypeInt)))
+		keys := make([]string, 0, len(dist))
+		for k := range dist {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			_ = rel.Append(engine.Tuple{engine.NewString(k), engine.NewInt(int64(dist[k]))})
+		}
+		return rel, nil
+	}
+	a, err := p.evalD4M(body)
+	if err != nil {
+		return nil, err
+	}
+	return a.ToRelation(), nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// evalD4M evaluates a D4M expression to an associative array.
+func (p *Polystore) evalD4M(expr string) (*d4m.Assoc, error) {
+	expr = strings.TrimSpace(expr)
+	cmd, args, err := parseCommand(expr)
+	if err != nil {
+		return nil, fmt.Errorf("core: d4m expression %q: %w", expr, err)
+	}
+	binary := func() (*d4m.Assoc, *d4m.Assoc, error) {
+		if len(args) != 2 {
+			return nil, nil, fmt.Errorf("core: %s takes two arrays", cmd)
+		}
+		x, err := p.evalD4M(args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		y, err := p.evalD4M(args[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		return x, y, nil
+	}
+	switch cmd {
+	case "assoc":
+		if len(args) != 1 && len(args) != 4 {
+			return nil, fmt.Errorf("core: assoc(obj [, rowCol, colCol, valCol])")
+		}
+		rel, err := p.Dump(strings.TrimSpace(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 4 {
+			return d4m.FromRelation(rel, strings.TrimSpace(args[1]), strings.TrimSpace(args[2]), strings.TrimSpace(args[3]))
+		}
+		if isKVDumpShape(rel.Schema) {
+			return d4m.FromKVDump(rel)
+		}
+		return d4m.FromRelation(rel, "row", "col", "val")
+	case "transpose":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("core: transpose(X)")
+		}
+		x, err := p.evalD4M(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return x.Transpose(), nil
+	case "sumrows":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("core: sumrows(X)")
+		}
+		x, err := p.evalD4M(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return x.SumRows(), nil
+	case "multiply":
+		x, y, err := binary()
+		if err != nil {
+			return nil, err
+		}
+		return x.Multiply(y), nil
+	case "add":
+		x, y, err := binary()
+		if err != nil {
+			return nil, err
+		}
+		return x.Add(y), nil
+	case "elementmul":
+		x, y, err := binary()
+		if err != nil {
+			return nil, err
+		}
+		return x.ElementMul(y), nil
+	case "filter":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("core: filter(X, op, number)")
+		}
+		x, err := p.evalD4M(args[0])
+		if err != nil {
+			return nil, err
+		}
+		threshold, err := strconv.ParseFloat(strings.TrimSpace(args[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad filter threshold %q", args[2])
+		}
+		op := strings.TrimSpace(unquote(args[1]))
+		var pred func(float64) bool
+		switch op {
+		case ">":
+			pred = func(v float64) bool { return v > threshold }
+		case ">=":
+			pred = func(v float64) bool { return v >= threshold }
+		case "<":
+			pred = func(v float64) bool { return v < threshold }
+		case "<=":
+			pred = func(v float64) bool { return v <= threshold }
+		case "=", "==":
+			pred = func(v float64) bool { return v == threshold }
+		case "<>", "!=":
+			pred = func(v float64) bool { return v != threshold }
+		default:
+			return nil, fmt.Errorf("core: unknown filter op %q", op)
+		}
+		return x.Filter(pred), nil
+	case "subsetrows", "subsetcols":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("core: %s(X, 'lo', 'hi')", cmd)
+		}
+		x, err := p.evalD4M(args[0])
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := unquote(args[1]), unquote(args[2])
+		if cmd == "subsetrows" {
+			return x.SubsetRows(lo, hi), nil
+		}
+		return x.SubsetCols(lo, hi), nil
+	default:
+		return nil, fmt.Errorf("core: unknown d4m operator %q", cmd)
+	}
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/kvstore"
+	"repro/internal/myria"
+	"repro/internal/relational"
+)
+
+// Query executes one SCOPE/CAST query, e.g.
+//
+//	RELATIONAL(SELECT * FROM CAST(wf, relation) WHERE v > 5)
+//	ARRAY(aggregate(filter(wf, v > 0), avg(v)))
+//	TEXT(search(notes, 'very sick', 3))
+//	STREAM(aggregate(vitals, avg, v))
+//	D4M(bfs(edges, 'a', 5))
+//
+// CAST terms are resolved first (migrating data between engines as
+// needed, §2.1), then the body is dispatched to the island. The first
+// argument of CAST may itself be a nested island query, which composes
+// cross-island pipelines.
+func (p *Polystore) Query(q string) (*engine.Relation, error) {
+	sq, err := parseScope(q)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.resolveCasts(sq.body)
+	if err != nil {
+		return nil, err
+	}
+	switch sq.island {
+	case IslandPostgres:
+		return p.Relational.Execute(body)
+	case IslandSciDB:
+		return p.ArrayStore.Query(body)
+	case IslandRelational:
+		return p.relationalIsland(body)
+	case IslandArray:
+		return p.arrayIsland(body)
+	case IslandAccumulo:
+		return p.textIsland(body)
+	case IslandSStore:
+		return p.streamIsland(body)
+	case IslandD4M:
+		return p.d4mIsland(body)
+	case IslandMyria:
+		return nil, fmt.Errorf("core: the MYRIA island is programmatic; use ExecuteMyria")
+	default:
+		return nil, fmt.Errorf("core: island %q not dispatchable", sq.island)
+	}
+}
+
+// resolveCasts rewrites every CAST(obj-or-query, target) in the body,
+// performing the migration and substituting the migrated object's name.
+func (p *Polystore) resolveCasts(body string) (string, error) {
+	for depthGuard := 0; depthGuard < 32; depthGuard++ {
+		start, end, ok := findCall(body, "CAST", 0)
+		if !ok {
+			return body, nil
+		}
+		inner := body[start+len("CAST(") : end-1]
+		args := splitTopArgs(inner)
+		if len(args) != 2 {
+			return "", fmt.Errorf("core: CAST takes (object, target), got %q", inner)
+		}
+		target, err := castTargetEngine(args[1])
+		if err != nil {
+			return "", err
+		}
+		src := strings.TrimSpace(args[0])
+		var castName string
+		if looksLikeIslandQuery(src) {
+			// Nested island query: execute, then load the result.
+			rel, err := p.Query(src)
+			if err != nil {
+				return "", err
+			}
+			castName = p.tempName("subq")
+			if err := p.Load(target, castName, rel, CastOptions{}); err != nil {
+				return "", err
+			}
+		} else {
+			res, err := p.Cast(src, target, CastOptions{})
+			if err != nil {
+				return "", err
+			}
+			castName = res.Target
+		}
+		body = body[:start] + castName + body[end:]
+	}
+	return "", fmt.Errorf("core: too many nested CASTs")
+}
+
+func looksLikeIslandQuery(s string) bool {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(strings.TrimSpace(s), ")") {
+		return false
+	}
+	_, err := parseScope(s)
+	return err == nil
+}
+
+// relationalIsland runs a SELECT with location transparency: tables
+// that live outside the relational engine are shimmed in (a temp copy
+// is cast over) before execution. This is the multi-engine SQL island.
+func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
+	stmt, err := relational.Parse(body)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*relational.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: the RELATIONAL island accepts SELECT only (DDL/DML go to POSTGRES)")
+	}
+	shim := func(ref *relational.TableRef) error {
+		if ref == nil {
+			return nil
+		}
+		info, known := p.Lookup(ref.Name)
+		if !known {
+			return nil // let the engine report unknown tables
+		}
+		if info.Engine == EnginePostgres {
+			if !strings.EqualFold(info.Physical, ref.Name) {
+				if ref.Alias == "" {
+					ref.Alias = ref.Name
+				}
+				ref.Name = info.Physical
+			}
+			return nil
+		}
+		res, err := p.Cast(ref.Name, EnginePostgres, CastOptions{})
+		if err != nil {
+			return fmt.Errorf("core: shim %s from %s: %w", ref.Name, info.Engine, err)
+		}
+		if ref.Alias == "" {
+			ref.Alias = ref.Name // keep qualified column refs working
+		}
+		ref.Name = res.Target
+		return nil
+	}
+	if err := shim(sel.From); err != nil {
+		return nil, err
+	}
+	for i := range sel.Joins {
+		if err := shim(&sel.Joins[i].Table); err != nil {
+			return nil, err
+		}
+	}
+	return p.Relational.ExecuteSelect(sel)
+}
+
+// arrayIsland runs an AFL query with location transparency: named
+// objects living outside the array engine are shimmed in first.
+func (p *Polystore) arrayIsland(body string) (*engine.Relation, error) {
+	for _, obj := range p.Objects() {
+		if obj.Engine == EngineSciDB {
+			continue
+		}
+		if !containsWord(body, obj.Name) {
+			continue
+		}
+		res, err := p.Cast(obj.Name, EngineSciDB, CastOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: shim %s from %s: %w", obj.Name, obj.Engine, err)
+		}
+		body = replaceWord(body, obj.Name, res.Target)
+	}
+	return p.ArrayStore.Query(body)
+}
+
+// containsWord reports a whole-word, case-insensitive occurrence
+// outside quotes.
+func containsWord(s, word string) bool {
+	upper := strings.ToUpper(s)
+	uw := strings.ToUpper(word)
+	inStr := false
+	for i := 0; i+len(uw) <= len(s); i++ {
+		if inStr {
+			if s[i] == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		if s[i] == '\'' {
+			inStr = true
+			continue
+		}
+		if !strings.HasPrefix(upper[i:], uw) {
+			continue
+		}
+		if i > 0 && isWordChar(s[i-1]) {
+			continue
+		}
+		if i+len(uw) < len(s) && isWordChar(s[i+len(uw)]) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func replaceWord(s, word, with string) string {
+	upper := strings.ToUpper(s)
+	uw := strings.ToUpper(word)
+	var sb strings.Builder
+	inStr := false
+	for i := 0; i < len(s); {
+		if inStr {
+			if s[i] == '\'' {
+				inStr = false
+			}
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		if s[i] == '\'' {
+			inStr = true
+			sb.WriteByte(s[i])
+			i++
+			continue
+		}
+		if strings.HasPrefix(upper[i:], uw) &&
+			(i == 0 || !isWordChar(s[i-1])) &&
+			(i+len(uw) >= len(s) || !isWordChar(s[i+len(uw)])) {
+			sb.WriteString(with)
+			i += len(uw)
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+// textIsland dispatches the Accumulo degenerate island's commands:
+//
+//	search(table, 'phrase', minCount)
+//	searchscan(table, 'phrase', minCount)   — unindexed baseline
+//	scan(table [, 'startRow' [, 'endRow']])
+//	get(table, 'row')
+//	count(table)
+func (p *Polystore) textIsland(body string) (*engine.Relation, error) {
+	cmd, args, err := parseCommand(body)
+	if err != nil {
+		return nil, err
+	}
+	physical := func(obj string) string {
+		if info, known := p.Lookup(obj); known {
+			return info.Physical
+		}
+		return obj
+	}
+	switch cmd {
+	case "search", "searchscan":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("core: %s(table, 'phrase', minCount)", cmd)
+		}
+		minCount, err := strconv.Atoi(strings.TrimSpace(args[2]))
+		if err != nil {
+			return nil, fmt.Errorf("core: bad minCount %q", args[2])
+		}
+		table := physical(args[0])
+		phrase := unquote(args[1])
+		var results []struct {
+			Row   string
+			Count int
+		}
+		if cmd == "search" {
+			rs, err := p.KV.Search(table, phrase, minCount)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rs {
+				results = append(results, struct {
+					Row   string
+					Count int
+				}{r.Row, r.Count})
+			}
+		} else {
+			rs, err := p.KV.SearchScan(table, phrase, minCount)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rs {
+				results = append(results, struct {
+					Row   string
+					Count int
+				}{r.Row, r.Count})
+			}
+		}
+		rel := engine.NewRelation(engine.NewSchema(
+			engine.Col("row", engine.TypeString), engine.Col("count", engine.TypeInt)))
+		for _, r := range results {
+			_ = rel.Append(engine.Tuple{engine.NewString(r.Row), engine.NewInt(int64(r.Count))})
+		}
+		return rel, nil
+	case "scan":
+		if len(args) < 1 || len(args) > 3 {
+			return nil, fmt.Errorf("core: scan(table [, start [, end]])")
+		}
+		startRow, endRow := "", ""
+		if len(args) >= 2 {
+			startRow = unquote(args[1])
+		}
+		if len(args) == 3 {
+			endRow = unquote(args[2])
+		}
+		rel := kvResultRelation()
+		err := p.KV.Scan(physical(args[0]), startRow, endRow, nil, kvAppend(rel))
+		if err != nil {
+			return nil, err
+		}
+		return rel, nil
+	case "get":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("core: get(table, 'row')")
+		}
+		es, err := p.KV.Get(physical(args[0]), unquote(args[1]))
+		if err != nil {
+			return nil, err
+		}
+		rel := kvResultRelation()
+		app := kvAppend(rel)
+		for _, e := range es {
+			_ = app(e)
+		}
+		return rel, nil
+	case "count":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("core: count(table)")
+		}
+		n, err := p.KV.Len(physical(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		rel := engine.NewRelation(engine.NewSchema(engine.Col("count", engine.TypeInt)))
+		_ = rel.Append(engine.Tuple{engine.NewInt(int64(n))})
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("core: unknown text island command %q", cmd)
+	}
+}
+
+// streamIsland dispatches the S-Store degenerate island's commands:
+//
+//	window(stream)            — the current sliding window
+//	aggregate(stream, kind, col)
+//	appended(stream)
+func (p *Polystore) streamIsland(body string) (*engine.Relation, error) {
+	cmd, args, err := parseCommand(body)
+	if err != nil {
+		return nil, err
+	}
+	physical := func(obj string) string {
+		if info, known := p.Lookup(obj); known {
+			return info.Physical
+		}
+		return obj
+	}
+	switch cmd {
+	case "window":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("core: window(stream)")
+		}
+		return p.Streams.Dump(physical(args[0]))
+	case "aggregate":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("core: aggregate(stream, kind, col)")
+		}
+		w, err := p.Streams.Window(physical(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		v, err := w.Aggregate(strings.TrimSpace(args[1]), strings.TrimSpace(args[2]))
+		if err != nil {
+			return nil, err
+		}
+		rel := engine.NewRelation(engine.NewSchema(engine.Col("value", engine.TypeFloat)))
+		_ = rel.Append(engine.Tuple{engine.NewFloat(v)})
+		return rel, nil
+	case "appended":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("core: appended(stream)")
+		}
+		n, err := p.Streams.Appended(physical(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		rel := engine.NewRelation(engine.NewSchema(engine.Col("appended", engine.TypeInt)))
+		_ = rel.Append(engine.Tuple{engine.NewInt(n)})
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("core: unknown stream island command %q", cmd)
+	}
+}
+
+// parseCommand splits "name(arg1, arg2)" into lower-cased name + args.
+func parseCommand(body string) (string, []string, error) {
+	body = strings.TrimSpace(body)
+	open := strings.IndexByte(body, '(')
+	if open <= 0 || !strings.HasSuffix(body, ")") {
+		return "", nil, fmt.Errorf("core: malformed command %q", body)
+	}
+	name := strings.ToLower(strings.TrimSpace(body[:open]))
+	inner := body[open+1 : len(body)-1]
+	if !balanced(inner) {
+		return "", nil, fmt.Errorf("core: unbalanced command %q", body)
+	}
+	return name, splitTopArgs(inner), nil
+}
+
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func kvResultRelation() *engine.Relation {
+	return engine.NewRelation(engine.NewSchema(
+		engine.Col("row", engine.TypeString), engine.Col("family", engine.TypeString),
+		engine.Col("qualifier", engine.TypeString), engine.Col("ts", engine.TypeInt),
+		engine.Col("value", engine.TypeString),
+	))
+}
+
+func kvAppend(rel *engine.Relation) func(e kvstore.Entry) error {
+	return func(e kvstore.Entry) error {
+		return rel.Append(engine.Tuple{
+			engine.NewString(e.Key.Row), engine.NewString(e.Key.Family),
+			engine.NewString(e.Key.Qualifier), engine.NewInt(e.Key.Timestamp),
+			engine.NewString(e.Value),
+		})
+	}
+}
+
+// ExecuteMyria runs a Myria plan (relational algebra + iteration)
+// against the polystore: Scan nodes resolve through the catalog, so a
+// single plan can join a Postgres table with a SciDB array — the Myria
+// island's multi-engine promise. The plan is optimized first.
+func (p *Polystore) ExecuteMyria(plan myria.Plan) (*engine.Relation, *myria.Stats, error) {
+	return myria.Execute(myria.Optimize(plan), polySource{p})
+}
+
+// polySource adapts the polystore catalog to myria.Source.
+type polySource struct{ p *Polystore }
+
+// Relation implements myria.Source by dumping the object from whichever
+// engine holds it.
+func (s polySource) Relation(name string) (*engine.Relation, error) {
+	return s.p.Dump(name)
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/engine"
+	"repro/internal/kvstore"
+	"repro/internal/tiledb"
+)
+
+// CastMode selects the data-movement path behind the CAST operator.
+// The paper (§2.1) distinguishes file-based import/export from "an
+// access method that knows how to read binary data in parallel directly
+// from another engine" — E2 benchmarks the two.
+type CastMode int
+
+// CAST data-movement modes.
+const (
+	// CastDirect streams the self-describing binary wire format between
+	// engines in memory.
+	CastDirect CastMode = iota
+	// CastCSVFile exports to a CSV file and re-imports it — the
+	// baseline BigDAWG improves on.
+	CastCSVFile
+)
+
+// CastOptions tunes a CAST.
+type CastOptions struct {
+	Mode CastMode
+	// TempDir holds CSV intermediates for CastCSVFile (default os.TempDir).
+	TempDir string
+	// TargetName overrides the minted temp name for the migrated copy.
+	TargetName string
+	// ArrayDims names the dimension columns when casting into the array
+	// engine; when empty, all leading INT columns are used (with a
+	// synthesized row-number dimension if there are none).
+	ArrayDims []string
+	// Dense requests dense storage for array targets.
+	Dense bool
+}
+
+// CastResult describes a completed migration.
+type CastResult struct {
+	Object   string
+	From, To EngineKind
+	Target   string // logical (and physical) name of the migrated copy
+	Rows     int
+	Bytes    int64
+	Elapsed  time.Duration
+}
+
+// Cast migrates a catalog object to another engine, registering the
+// copy under a new name and returning it. The source object remains in
+// place (the paper defers replication/transactions to future work, so
+// CAST copies).
+func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastResult, error) {
+	start := time.Now()
+	info, ok := p.Lookup(object)
+	if !ok {
+		return CastResult{}, fmt.Errorf("core: unknown object %q", object)
+	}
+	res := CastResult{Object: object, From: info.Engine, To: to}
+
+	rel, err := p.Dump(object)
+	if err != nil {
+		return res, err
+	}
+
+	// Move the bytes through the selected transport.
+	switch opts.Mode {
+	case CastDirect:
+		var buf bytes.Buffer
+		if err := rel.WriteBinary(&buf); err != nil {
+			return res, err
+		}
+		res.Bytes = int64(buf.Len())
+		rel, err = engine.ReadBinary(&buf)
+		if err != nil {
+			return res, err
+		}
+	case CastCSVFile:
+		dir := opts.TempDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		f, err := os.CreateTemp(dir, "bigdawg_cast_*.csv")
+		if err != nil {
+			return res, err
+		}
+		path := f.Name()
+		defer os.Remove(path)
+		bw := bufio.NewWriter(f)
+		if err := rel.WriteCSV(bw); err != nil {
+			f.Close()
+			return res, err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return res, err
+		}
+		if err := f.Close(); err != nil {
+			return res, err
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return res, err
+		}
+		res.Bytes = fi.Size()
+		rf, err := os.Open(filepath.Clean(path))
+		if err != nil {
+			return res, err
+		}
+		rel, err = engine.ReadCSV(bufio.NewReader(rf))
+		rf.Close()
+		if err != nil {
+			return res, err
+		}
+	default:
+		return res, fmt.Errorf("core: unknown cast mode %d", opts.Mode)
+	}
+
+	target := opts.TargetName
+	if target == "" {
+		target = p.tempName("cast")
+	}
+	if err := p.Load(to, target, rel, opts); err != nil {
+		return res, err
+	}
+	res.Target = target
+	res.Rows = rel.Len()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Load materialises a relation as a new object in the target engine and
+// registers it in the catalog — the ingress half of CAST.
+func (p *Polystore) Load(to EngineKind, name string, rel *engine.Relation, opts CastOptions) error {
+	switch to {
+	case EnginePostgres:
+		if err := p.Relational.InsertRelation(name, rel); err != nil {
+			return err
+		}
+	case EngineSciDB:
+		dims := opts.ArrayDims
+		if len(dims) == 0 {
+			dims = leadingIntColumns(rel)
+		}
+		work := rel
+		if len(dims) == 0 {
+			// Synthesize a row-number dimension.
+			work = withRowNumber(rel)
+			dims = []string{"i"}
+		}
+		a, err := array.FromRelation(name, work, dims, opts.Dense)
+		if err != nil {
+			return err
+		}
+		p.ArrayStore.Put(a)
+	case EngineAccumulo:
+		if err := p.loadKV(name, rel); err != nil {
+			return err
+		}
+	case EngineTileDB:
+		a, err := relationToTileDB(name, rel)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.tile[strings.ToLower(name)] = a
+		p.mu.Unlock()
+	case EngineSStore:
+		return fmt.Errorf("core: cannot CAST into the streaming engine; streams ingest via TCP or Append")
+	default:
+		return fmt.Errorf("core: unknown target engine %q", to)
+	}
+	return p.Register(name, to, name)
+}
+
+// loadKV stores a relation in the key-value engine. Relations already
+// in the kvstore dump shape load natively; anything else maps row i,
+// column c to (row=<first column value>, family="data", qualifier=<column
+// name>, value=<cell>) — the generic D4M-style exploded layout.
+func (p *Polystore) loadKV(name string, rel *engine.Relation) error {
+	if isKVDumpShape(rel.Schema) {
+		return p.KV.LoadRelation(name, rel)
+	}
+	if len(rel.Schema.Columns) < 2 {
+		return fmt.Errorf("core: relation needs ≥ 2 columns to load into accumulo")
+	}
+	if err := p.KV.CreateTable(name); err != nil {
+		return err
+	}
+	var es []kvstore.Entry
+	for i, t := range rel.Tuples {
+		rowKey := t[0].String()
+		if rowKey == "" {
+			rowKey = fmt.Sprintf("row%08d", i)
+		}
+		for j := 1; j < len(t); j++ {
+			es = append(es, kvstore.Entry{
+				Key: kvstore.Key{
+					Row: rowKey, Family: "data",
+					Qualifier: rel.Schema.Columns[j].Name, Timestamp: int64(i),
+				},
+				Value: t[j].String(),
+			})
+		}
+	}
+	return p.KV.PutBatch(name, es)
+}
+
+func isKVDumpShape(s engine.Schema) bool {
+	want := []string{"row", "family", "qualifier", "ts", "value"}
+	if len(s.Columns) != len(want) {
+		return false
+	}
+	for i, n := range want {
+		if !strings.EqualFold(s.Columns[i].Name, n) {
+			return false
+		}
+	}
+	return true
+}
+
+// leadingIntColumns returns the names of the leading INT columns, which
+// serve as array dimensions by convention (at least one non-dimension
+// attribute column must remain).
+func leadingIntColumns(rel *engine.Relation) []string {
+	var dims []string
+	for _, c := range rel.Schema.Columns {
+		if c.Type != engine.TypeInt {
+			break
+		}
+		dims = append(dims, c.Name)
+	}
+	if len(dims) == len(rel.Schema.Columns) && len(dims) > 0 {
+		dims = dims[:len(dims)-1] // keep the last column as the attribute
+	}
+	return dims
+}
+
+func withRowNumber(rel *engine.Relation) *engine.Relation {
+	cols := append([]engine.Column{engine.Col("i", engine.TypeInt)}, rel.Schema.Columns...)
+	out := engine.NewRelation(engine.Schema{Columns: cols})
+	out.Tuples = make([]engine.Tuple, len(rel.Tuples))
+	for i, t := range rel.Tuples {
+		row := make(engine.Tuple, 0, len(t)+1)
+		row = append(row, engine.NewInt(int64(i)))
+		row = append(row, t...)
+		out.Tuples[i] = row
+	}
+	return out
+}
+
+// relationToTileDB loads (int dims..., float value) rows into a fresh
+// TileDB array.
+func relationToTileDB(name string, rel *engine.Relation) (*tiledb.Array, error) {
+	if rel.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot infer tiledb domain from empty relation")
+	}
+	nd := len(rel.Schema.Columns) - 1
+	if nd < 1 {
+		return nil, fmt.Errorf("core: tiledb load needs ≥ 2 columns (dims + value)")
+	}
+	lo := make([]int64, nd)
+	hi := make([]int64, nd)
+	for i := 0; i < nd; i++ {
+		lo[i], hi[i] = 1<<62, -1<<62
+	}
+	cells := make([]tiledb.Cell, 0, rel.Len())
+	for _, t := range rel.Tuples {
+		coords := make([]int64, nd)
+		for i := 0; i < nd; i++ {
+			coords[i] = t[i].AsInt()
+			if coords[i] < lo[i] {
+				lo[i] = coords[i]
+			}
+			if coords[i] > hi[i] {
+				hi[i] = coords[i]
+			}
+		}
+		cells = append(cells, tiledb.Cell{Coords: coords, Value: t[nd].AsFloat()})
+	}
+	a, err := tiledb.NewArray(name, tiledb.Box{Lo: lo, Hi: hi}, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Write(cells); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Migrate moves an object permanently: cast to the target engine under
+// the same logical name (with a fresh physical name), then repoint the
+// catalog — the operation the monitoring system (§2.1) recommends.
+func (p *Polystore) Migrate(object string, to EngineKind, opts CastOptions) (CastResult, error) {
+	info, ok := p.Lookup(object)
+	if !ok {
+		return CastResult{}, fmt.Errorf("core: unknown object %q", object)
+	}
+	if info.Engine == to {
+		return CastResult{Object: object, From: to, To: to, Target: info.Physical}, nil
+	}
+	opts.TargetName = p.tempName("mig_" + object)
+	res, err := p.Cast(object, to, opts)
+	if err != nil {
+		return res, err
+	}
+	// Repoint the logical name at the migrated copy.
+	p.mu.Lock()
+	delete(p.catalog, strings.ToLower(res.Target))
+	p.catalog[strings.ToLower(object)] = ObjectInfo{Name: object, Engine: to, Physical: res.Target}
+	p.mu.Unlock()
+	res.Target = object
+	return res, nil
+}

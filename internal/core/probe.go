@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/monitor"
+)
+
+// This file implements two systems the paper says BigDAWG is
+// investigating (§2.1):
+//
+//   - a testing system that probes islands looking for areas of common
+//     semantics ("to identify such common sub-islands, we are
+//     constructing a testing system that will probe islands"), and
+//   - automatic processing-location selection ("when multiple islands
+//     implement common functionality with the same semantics, then
+//     BigDAWG can decide which island will do the processing
+//     automatically").
+
+// ProbeTask is one logical operation expressed per island. Islands
+// whose results agree on a reference object share semantics for the
+// operation and form a common sub-island.
+type ProbeTask struct {
+	// Name identifies the logical operation, e.g. "count", "sum_v".
+	Name string
+	// Queries maps island → concrete query text computing the operation
+	// over the probe object. Islands absent from the map do not claim
+	// the capability.
+	Queries map[Island]string
+}
+
+// ProbeResult reports which islands agree on one task.
+type ProbeResult struct {
+	Task string
+	// Agreeing lists islands whose results matched the majority answer.
+	Agreeing []Island
+	// Disagreeing lists islands that answered but differed.
+	Disagreeing []Island
+	// Failed lists islands whose query errored (capability absent).
+	Failed []Island
+}
+
+// ProbeCommonSemantics executes every task on every island that claims
+// it and clusters islands by answer equality. Results are compared as
+// sorted value matrices so row order and column naming differences
+// between islands do not mask semantic agreement.
+func (p *Polystore) ProbeCommonSemantics(tasks []ProbeTask) ([]ProbeResult, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("core: no probe tasks")
+	}
+	var out []ProbeResult
+	for _, task := range tasks {
+		res := ProbeResult{Task: task.Name}
+		answers := map[Island]string{}
+		islands := make([]Island, 0, len(task.Queries))
+		for island := range task.Queries {
+			islands = append(islands, island)
+		}
+		sort.Slice(islands, func(i, j int) bool { return islands[i] < islands[j] })
+		for _, island := range islands {
+			rel, err := p.Query(string(island) + "(" + task.Queries[island] + ")")
+			if err != nil {
+				res.Failed = append(res.Failed, island)
+				continue
+			}
+			answers[island] = canonicalAnswer(rel)
+		}
+		// Majority answer wins; ties break toward the lexicographically
+		// smallest answer for determinism.
+		counts := map[string]int{}
+		for _, a := range answers {
+			counts[a]++
+		}
+		best, bestN := "", -1
+		keys := make([]string, 0, len(counts))
+		for a := range counts {
+			keys = append(keys, a)
+		}
+		sort.Strings(keys)
+		for _, a := range keys {
+			if counts[a] > bestN {
+				best, bestN = a, counts[a]
+			}
+		}
+		for _, island := range islands {
+			a, ok := answers[island]
+			if !ok {
+				continue
+			}
+			if a == best {
+				res.Agreeing = append(res.Agreeing, island)
+			} else {
+				res.Disagreeing = append(res.Disagreeing, island)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// canonicalAnswer renders a relation order- and naming-insensitively:
+// numeric cells round to 9 significant digits so float paths through
+// different engines still compare equal.
+func canonicalAnswer(rel *engine.Relation) string {
+	rows := make([]string, 0, rel.Len())
+	for _, t := range rel.Tuples {
+		row := ""
+		for _, v := range t {
+			switch v.Kind {
+			case engine.TypeFloat, engine.TypeInt, engine.TypeBool:
+				row += fmt.Sprintf("%.9g|", v.AsFloat())
+			default:
+				row += v.String() + "|"
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Strings(rows)
+	out := ""
+	for _, r := range rows {
+		out += r + "\n"
+	}
+	return out
+}
+
+// AutoTask is a logical operation the polystore may execute on any of
+// several islands with identical semantics (established via probing).
+type AutoTask struct {
+	// Name keys monitoring observations.
+	Name string
+	// Class buckets the task for the monitor.
+	Class monitor.QueryClass
+	// Candidates maps island → query text.
+	Candidates map[Island]string
+}
+
+// AutoResult reports an automatic routing decision.
+type AutoResult struct {
+	Island  Island
+	Elapsed time.Duration
+	Reason  string
+}
+
+// QueryAuto picks the island for a task automatically: on the first
+// calls it round-robins through the candidates to gather observations
+// (the probing phase); once every candidate has been measured it
+// routes to the lowest-latency island. This is the §2.1 promise that
+// users need not write SCOPE by hand when semantics coincide.
+func (p *Polystore) QueryAuto(task AutoTask) (*engine.Relation, AutoResult, error) {
+	if len(task.Candidates) == 0 {
+		return nil, AutoResult{}, fmt.Errorf("core: no candidate islands")
+	}
+	islands := make([]Island, 0, len(task.Candidates))
+	for island := range task.Candidates {
+		islands = append(islands, island)
+	}
+	sort.Slice(islands, func(i, j int) bool { return islands[i] < islands[j] })
+
+	// Unprobed candidate? Measure it now.
+	for _, island := range islands {
+		if _, seen := p.Monitor.Latency(task.Name, task.Class, string(island)); !seen {
+			rel, elapsed, err := p.timedQuery(island, task.Candidates[island])
+			if err != nil {
+				return nil, AutoResult{}, err
+			}
+			p.Monitor.Record(task.Name, task.Class, string(island), elapsed)
+			return rel, AutoResult{Island: island, Elapsed: elapsed, Reason: "probing"}, nil
+		}
+	}
+	best, _, ok := p.Monitor.BestEngine(task.Name, task.Class)
+	if !ok {
+		best = string(islands[0])
+	}
+	island := Island(best)
+	if _, claimed := task.Candidates[island]; !claimed {
+		island = islands[0]
+	}
+	rel, elapsed, err := p.timedQuery(island, task.Candidates[island])
+	if err != nil {
+		return nil, AutoResult{}, err
+	}
+	p.Monitor.Record(task.Name, task.Class, string(island), elapsed)
+	return rel, AutoResult{Island: island, Elapsed: elapsed, Reason: "lowest observed latency"}, nil
+}
+
+func (p *Polystore) timedQuery(island Island, body string) (*engine.Relation, time.Duration, error) {
+	start := time.Now()
+	rel, err := p.Query(string(island) + "(" + body + ")")
+	return rel, time.Since(start), err
+}

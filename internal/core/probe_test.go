@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+)
+
+func TestProbeCommonSemantics(t *testing.T) {
+	p := demoStore(t)
+	// Replicate wf into the relational engine so both islands can
+	// compute the same aggregates over it.
+	if _, err := p.Cast("wf", EnginePostgres, CastOptions{TargetName: "wf_pg"}); err != nil {
+		t.Fatal(err)
+	}
+	tasks := []ProbeTask{
+		{
+			Name: "count_cells",
+			Queries: map[Island]string{
+				IslandPostgres: `SELECT COUNT(*) FROM wf_pg`,
+				IslandSciDB:    `aggregate(wf, count(v))`,
+			},
+		},
+		{
+			Name: "sum_v",
+			Queries: map[Island]string{
+				IslandPostgres: `SELECT SUM(v) FROM wf_pg`,
+				IslandSciDB:    `aggregate(wf, sum(v))`,
+			},
+		},
+		{
+			// Deliberate semantic mismatch: MAX(t) vs max(v).
+			Name: "mismatched",
+			Queries: map[Island]string{
+				IslandPostgres: `SELECT MAX(t) FROM wf_pg`,
+				IslandSciDB:    `aggregate(wf, max(v))`,
+			},
+		},
+		{
+			// One island lacks the capability entirely.
+			Name: "text_only",
+			Queries: map[Island]string{
+				IslandAccumulo: `count(notes)`,
+				IslandSciDB:    `frobnicate(wf)`,
+			},
+		},
+	}
+	results, err := p.ProbeCommonSemantics(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ProbeResult{}
+	for _, r := range results {
+		byName[r.Task] = r
+	}
+	if got := byName["count_cells"]; len(got.Agreeing) != 2 || len(got.Disagreeing) != 0 {
+		t.Errorf("count_cells should agree across islands: %+v", got)
+	}
+	if got := byName["sum_v"]; len(got.Agreeing) != 2 {
+		t.Errorf("sum_v should agree: %+v", got)
+	}
+	if got := byName["mismatched"]; len(got.Disagreeing) != 1 {
+		t.Errorf("mismatched should split: %+v", got)
+	}
+	if got := byName["text_only"]; len(got.Failed) != 1 || len(got.Agreeing) != 1 {
+		t.Errorf("text_only: scidb should fail, accumulo answer: %+v", got)
+	}
+	if _, err := p.ProbeCommonSemantics(nil); err == nil {
+		t.Error("no tasks should fail")
+	}
+}
+
+func TestQueryAutoRoutesToFastestIsland(t *testing.T) {
+	p := demoStore(t)
+	if _, err := p.Cast("wf", EnginePostgres, CastOptions{TargetName: "wf_pg"}); err != nil {
+		t.Fatal(err)
+	}
+	task := AutoTask{
+		Name:  "wf_sum",
+		Class: monitor.ClassSQLAnalytics,
+		Candidates: map[Island]string{
+			IslandPostgres: `SELECT SUM(v) AS s FROM wf_pg`,
+			IslandSciDB:    `aggregate(wf, sum(v))`,
+		},
+	}
+	// First two calls probe both candidates.
+	seen := map[Island]bool{}
+	for i := 0; i < 2; i++ {
+		rel, res, err := p.QueryAuto(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != "probing" {
+			t.Errorf("call %d should probe, got %q", i, res.Reason)
+		}
+		if rel.Tuples[0][0].AsFloat() != 14 {
+			t.Errorf("wrong answer from %s: %v", res.Island, rel.Tuples[0][0])
+		}
+		seen[res.Island] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("probing should cover both islands: %v", seen)
+	}
+	// Subsequent calls route by observed latency and stay correct.
+	for i := 0; i < 3; i++ {
+		rel, res, err := p.QueryAuto(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != "lowest observed latency" {
+			t.Errorf("post-probe reason: %q", res.Reason)
+		}
+		if rel.Tuples[0][0].AsFloat() != 14 {
+			t.Errorf("wrong routed answer: %v", rel.Tuples[0][0])
+		}
+	}
+	if _, _, err := p.QueryAuto(AutoTask{Name: "x"}); err == nil {
+		t.Error("no candidates should fail")
+	}
+}
+
+func TestQueryAutoRespectsBias(t *testing.T) {
+	// Seed the monitor so one island looks much faster; routing must
+	// follow the observations.
+	p := demoStore(t)
+	if _, err := p.Cast("wf", EnginePostgres, CastOptions{TargetName: "wf_pg"}); err != nil {
+		t.Fatal(err)
+	}
+	p.Monitor.Record("biased", monitor.ClassSQLAnalytics, string(IslandSciDB), 1)
+	p.Monitor.Record("biased", monitor.ClassSQLAnalytics, string(IslandPostgres), 1_000_000_000)
+	task := AutoTask{
+		Name:  "biased",
+		Class: monitor.ClassSQLAnalytics,
+		Candidates: map[Island]string{
+			IslandPostgres: `SELECT COUNT(*) FROM wf_pg`,
+			IslandSciDB:    `aggregate(wf, count(v))`,
+		},
+	}
+	_, res, err := p.QueryAuto(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Island != IslandSciDB {
+		t.Errorf("routing ignored observations: %+v", res)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestCastRoundTripPreservesData drives an object through every engine
+// that can hold it and back, checking the data survives each hop:
+// postgres → scidb → postgres, postgres → accumulo → postgres,
+// postgres → tiledb → postgres.
+func TestCastRoundTripPreservesData(t *testing.T) {
+	paths := [][]EngineKind{
+		{EngineSciDB, EnginePostgres},
+		{EngineTileDB, EnginePostgres},
+	}
+	for _, path := range paths {
+		t.Run(fmt.Sprintf("%v", path), func(t *testing.T) {
+			p := New()
+			rel := engine.NewRelation(engine.NewSchema(
+				engine.Col("k", engine.TypeInt), engine.Col("v", engine.TypeFloat)))
+			for i := 0; i < 200; i++ {
+				_ = rel.Append(engine.Tuple{engine.NewInt(int64(i)), engine.NewFloat(float64(i) * 1.5)})
+			}
+			if err := p.Relational.InsertRelation("obj", rel); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Register("obj", EnginePostgres, "obj"); err != nil {
+				t.Fatal(err)
+			}
+			current := "obj"
+			for _, hop := range path {
+				res, err := p.Cast(current, hop, CastOptions{})
+				if err != nil {
+					t.Fatalf("cast %s → %s: %v", current, hop, err)
+				}
+				current = res.Target
+			}
+			got, err := p.Dump(current)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != rel.Len() {
+				t.Fatalf("cardinality after round trip: %d, want %d", got.Len(), rel.Len())
+			}
+			got.SortBy(0)
+			for i, row := range got.Tuples {
+				if row[0].AsInt() != int64(i) || row[1].AsFloat() != float64(i)*1.5 {
+					t.Fatalf("row %d corrupted: %v", i, row)
+				}
+			}
+		})
+	}
+}
+
+// TestAccumuloRoundTripPreservesCells checks the exploded KV layout
+// keeps every cell value addressable.
+func TestAccumuloRoundTripPreservesCells(t *testing.T) {
+	p := New()
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("k", engine.TypeInt), engine.Col("v", engine.TypeFloat),
+		engine.Col("label", engine.TypeString)))
+	for i := 0; i < 50; i++ {
+		_ = rel.Append(engine.Tuple{engine.NewInt(int64(i)),
+			engine.NewFloat(float64(i) / 2), engine.NewString(fmt.Sprintf("L%d", i))})
+	}
+	if err := p.Relational.InsertRelation("obj", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register("obj", EnginePostgres, "obj"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Cast("obj", EngineAccumulo, CastOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := p.KV.Get(res.Target, "17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 { // v and label cells
+		t.Fatalf("cells for row 17: %d", len(es))
+	}
+	found := map[string]string{}
+	for _, e := range es {
+		found[e.Key.Qualifier] = e.Value
+	}
+	if found["v"] != "8.5" || found["label"] != "L17" {
+		t.Errorf("cell values: %v", found)
+	}
+}
+
+// TestConcurrentQueriesAndCasts exercises the catalog and engines under
+// parallel readers with interleaved casts.
+func TestConcurrentQueriesAndCasts(t *testing.T) {
+	p := demoStore(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := p.Query(`POSTGRES(SELECT COUNT(*) FROM patients)`); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := p.Query(`SCIDB(aggregate(wf, sum(v)))`); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				res, err := p.Cast("patients", EngineSciDB, CastOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				_ = p.ArrayStore.Remove(res.Target)
+				p.Deregister(res.Target)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

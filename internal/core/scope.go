@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Island names the front-facing abstractions of the federation.
+type Island string
+
+// The eight islands of the reference implementation.
+const (
+	IslandRelational Island = "RELATIONAL"
+	IslandArray      Island = "ARRAY"
+	IslandD4M        Island = "D4M"
+	IslandMyria      Island = "MYRIA"
+	IslandPostgres   Island = "POSTGRES"
+	IslandSciDB      Island = "SCIDB"
+	IslandAccumulo   Island = "ACCUMULO"
+	IslandSStore     Island = "SSTORE"
+)
+
+// Islands lists every island the polystore hosts.
+func Islands() []Island {
+	return []Island{
+		IslandRelational, IslandArray, IslandD4M, IslandMyria,
+		IslandPostgres, IslandSciDB, IslandAccumulo, IslandSStore,
+	}
+}
+
+// scopedQuery is one parsed SCOPE specification: island plus body.
+type scopedQuery struct {
+	island Island
+	body   string
+}
+
+// parseScope parses "ISLAND( body )". The SCOPE specification of §2.1
+// is exactly this island designation.
+func parseScope(q string) (scopedQuery, error) {
+	q = strings.TrimSpace(q)
+	open := strings.IndexByte(q, '(')
+	if open <= 0 || !strings.HasSuffix(q, ")") {
+		return scopedQuery{}, fmt.Errorf("core: query must be ISLAND(...): %q", q)
+	}
+	name := Island(strings.ToUpper(strings.TrimSpace(q[:open])))
+	switch name {
+	case IslandRelational, IslandArray, IslandD4M, IslandMyria,
+		IslandPostgres, IslandSciDB, IslandAccumulo, IslandSStore:
+	case "TEXT": // convenience alias for the text island
+		name = IslandAccumulo
+	case "STREAM":
+		name = IslandSStore
+	default:
+		return scopedQuery{}, fmt.Errorf("core: unknown island %q", name)
+	}
+	body := q[open+1 : len(q)-1]
+	if !balanced(body) {
+		return scopedQuery{}, fmt.Errorf("core: unbalanced parentheses in %q", q)
+	}
+	return scopedQuery{island: name, body: strings.TrimSpace(body)}, nil
+}
+
+// balanced checks parenthesis balance outside single-quoted strings.
+func balanced(s string) bool {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\'' {
+				inStr = false
+			}
+		case s[i] == '\'':
+			inStr = true
+		case s[i] == '(':
+			depth++
+		case s[i] == ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0 && !inStr
+}
+
+// splitTopArgs splits a call body on top-level commas, respecting
+// nesting and quotes.
+func splitTopArgs(body string) []string {
+	var args []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case inStr:
+			if c == '\'' {
+				inStr = false
+			}
+		case c == '\'':
+			inStr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(body[start:i]))
+			start = i + 1
+		}
+	}
+	if tail := strings.TrimSpace(body[start:]); tail != "" || len(args) > 0 {
+		args = append(args, tail)
+	}
+	return args
+}
+
+// findCall locates the next case-insensitive occurrence of name+"("
+// outside quotes at or after from, returning the index of the name and
+// the index just past the matching close paren, or ok=false.
+func findCall(s, name string, from int) (start, end int, ok bool) {
+	upper := strings.ToUpper(s)
+	uname := strings.ToUpper(name) + "("
+	inStr := false
+	for i := from; i+len(uname) <= len(s); i++ {
+		if inStr {
+			if s[i] == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		if s[i] == '\'' {
+			inStr = true
+			continue
+		}
+		if !strings.HasPrefix(upper[i:], uname) {
+			continue
+		}
+		// Require a word boundary before the name.
+		if i > 0 && (isWordChar(s[i-1])) {
+			continue
+		}
+		// Find matching close paren.
+		depth := 0
+		inner := false
+		for j := i + len(uname) - 1; j < len(s); j++ {
+			switch {
+			case inner:
+				if s[j] == '\'' {
+					inner = false
+				}
+			case s[j] == '\'':
+				inner = true
+			case s[j] == '(':
+				depth++
+			case s[j] == ')':
+				depth--
+				if depth == 0 {
+					return i, j + 1, true
+				}
+			}
+		}
+		return 0, 0, false // unbalanced
+	}
+	return 0, 0, false
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// castTargetEngine maps a CAST target model name to an engine.
+func castTargetEngine(name string) (EngineKind, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "relation", "relational", "postgres", "table":
+		return EnginePostgres, nil
+	case "array", "scidb":
+		return EngineSciDB, nil
+	case "text", "keyvalue", "accumulo":
+		return EngineAccumulo, nil
+	case "tiledb":
+		return EngineTileDB, nil
+	default:
+		return "", fmt.Errorf("core: unknown CAST target %q", name)
+	}
+}

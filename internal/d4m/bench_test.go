@@ -1,0 +1,49 @@
+package d4m
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchGraph builds a ring + chords adjacency array of n nodes.
+func benchGraph(n int) *Assoc {
+	a := New()
+	for i := 0; i < n; i++ {
+		from := fmt.Sprintf("n%05d", i)
+		a.Set(from, fmt.Sprintf("n%05d", (i+1)%n), 1)
+		a.Set(from, fmt.Sprintf("n%05d", (i+37)%n), 1)
+	}
+	return a
+}
+
+func BenchmarkMultiply(b *testing.B) {
+	a := benchGraph(1_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Multiply(a)
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	a := benchGraph(2_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.BFS("n00000", 20)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	a := benchGraph(2_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Transpose()
+	}
+}
+
+func BenchmarkSubsetRows(b *testing.B) {
+	a := benchGraph(5_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.SubsetRows("n01000", "n02000")
+	}
+}

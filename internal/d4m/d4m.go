@@ -1,0 +1,339 @@
+// Package d4m implements BigDAWG's D4M island: the associative-array
+// data model (Kepner et al., ICASSP 2012) that unifies spreadsheets,
+// matrices and graphs, with filtering, subsetting and linear-algebra
+// operations (§2.1.1 of the paper). Associative arrays are immutable
+// value types here: every operation returns a new array, which is how
+// D4M's algebra composes.
+//
+// Shims to the underlying engines (Accumulo, SciDB, Postgres in the
+// paper) are provided via conversions to and from engine.Relation and
+// the kvstore triple layout.
+package d4m
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Assoc is an associative array: a sparse map from (row key, column
+// key) strings to float64 values. Zero values are not stored.
+type Assoc struct {
+	cells map[string]map[string]float64 // row -> col -> value
+}
+
+// New returns an empty associative array.
+func New() *Assoc { return &Assoc{cells: map[string]map[string]float64{}} }
+
+// Set stores a value; setting zero deletes the cell (D4M's sparse
+// semantics).
+func (a *Assoc) Set(row, col string, v float64) {
+	if v == 0 {
+		if m, ok := a.cells[row]; ok {
+			delete(m, col)
+			if len(m) == 0 {
+				delete(a.cells, row)
+			}
+		}
+		return
+	}
+	m := a.cells[row]
+	if m == nil {
+		m = map[string]float64{}
+		a.cells[row] = m
+	}
+	m[col] = v
+}
+
+// Get reads a cell (0 for absent, like sparse matrices).
+func (a *Assoc) Get(row, col string) float64 { return a.cells[row][col] }
+
+// NNZ returns the number of stored (non-zero) cells.
+func (a *Assoc) NNZ() int {
+	n := 0
+	for _, m := range a.cells {
+		n += len(m)
+	}
+	return n
+}
+
+// Rows returns the sorted row keys.
+func (a *Assoc) Rows() []string {
+	out := make([]string, 0, len(a.cells))
+	for r := range a.cells {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Cols returns the sorted distinct column keys.
+func (a *Assoc) Cols() []string {
+	set := map[string]bool{}
+	for _, m := range a.cells {
+		for c := range m {
+			set[c] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the array.
+func (a *Assoc) Clone() *Assoc {
+	out := New()
+	for r, m := range a.cells {
+		nm := make(map[string]float64, len(m))
+		for c, v := range m {
+			nm[c] = v
+		}
+		out.cells[r] = nm
+	}
+	return out
+}
+
+// SubsetRows keeps rows with keys in [lo, hi] (inclusive, lexicographic;
+// empty bounds are open) — D4M's row subsetting A(lo:hi, :).
+func (a *Assoc) SubsetRows(lo, hi string) *Assoc {
+	out := New()
+	for r, m := range a.cells {
+		if lo != "" && r < lo {
+			continue
+		}
+		if hi != "" && r > hi {
+			continue
+		}
+		for c, v := range m {
+			out.Set(r, c, v)
+		}
+	}
+	return out
+}
+
+// SubsetCols keeps columns with keys in [lo, hi] — A(:, lo:hi).
+func (a *Assoc) SubsetCols(lo, hi string) *Assoc {
+	out := New()
+	for r, m := range a.cells {
+		for c, v := range m {
+			if lo != "" && c < lo {
+				continue
+			}
+			if hi != "" && c > hi {
+				continue
+			}
+			out.Set(r, c, v)
+		}
+	}
+	return out
+}
+
+// Filter keeps cells whose value satisfies pred — A > 0.5 in D4M.
+func (a *Assoc) Filter(pred func(v float64) bool) *Assoc {
+	out := New()
+	for r, m := range a.cells {
+		for c, v := range m {
+			if pred(v) {
+				out.Set(r, c, v)
+			}
+		}
+	}
+	return out
+}
+
+// Add returns the element-wise sum a + b (union of supports).
+func (a *Assoc) Add(b *Assoc) *Assoc {
+	out := a.Clone()
+	for r, m := range b.cells {
+		for c, v := range m {
+			out.Set(r, c, out.Get(r, c)+v)
+		}
+	}
+	return out
+}
+
+// ElementMul returns the element-wise (Hadamard) product, whose support
+// is the intersection — D4M's A .* B, used for graph edge intersection.
+func (a *Assoc) ElementMul(b *Assoc) *Assoc {
+	out := New()
+	for r, m := range a.cells {
+		bm, ok := b.cells[r]
+		if !ok {
+			continue
+		}
+		for c, v := range m {
+			if bv, ok := bm[c]; ok {
+				out.Set(r, c, v*bv)
+			}
+		}
+	}
+	return out
+}
+
+// Multiply returns the associative-array matrix product: out[r,c] =
+// Σ_k a[r,k]·b[k,c], matching keys by string equality. In graph terms
+// this is path counting.
+func (a *Assoc) Multiply(b *Assoc) *Assoc {
+	out := New()
+	for r, am := range a.cells {
+		for k, av := range am {
+			bm, ok := b.cells[k]
+			if !ok {
+				continue
+			}
+			for c, bv := range bm {
+				out.Set(r, c, out.Get(r, c)+av*bv)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose swaps rows and columns.
+func (a *Assoc) Transpose() *Assoc {
+	out := New()
+	for r, m := range a.cells {
+		for c, v := range m {
+			out.Set(c, r, v)
+		}
+	}
+	return out
+}
+
+// SumRows collapses each row to a single "sum" column — degree vector
+// of a graph adjacency array.
+func (a *Assoc) SumRows() *Assoc {
+	out := New()
+	for r, m := range a.cells {
+		s := 0.0
+		for _, v := range m {
+			s += v
+		}
+		out.Set(r, "sum", s)
+	}
+	return out
+}
+
+// Equal reports whether two arrays have identical support and values.
+func (a *Assoc) Equal(b *Assoc) bool {
+	if a.NNZ() != b.NNZ() {
+		return false
+	}
+	for r, m := range a.cells {
+		for c, v := range m {
+			if b.Get(r, c) != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToRelation flattens to (row, col, val) triples sorted by row then col
+// — the shim out of the D4M island.
+func (a *Assoc) ToRelation() *engine.Relation {
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("row", engine.TypeString),
+		engine.Col("col", engine.TypeString),
+		engine.Col("val", engine.TypeFloat),
+	))
+	for _, r := range a.Rows() {
+		m := a.cells[r]
+		cols := make([]string, 0, len(m))
+		for c := range m {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			_ = rel.Append(engine.Tuple{engine.NewString(r), engine.NewString(c), engine.NewFloat(m[c])})
+		}
+	}
+	return rel
+}
+
+// FromRelation builds an associative array from three named columns of
+// any relation — the shim into the D4M island from Postgres/SciDB.
+func FromRelation(rel *engine.Relation, rowCol, colCol, valCol string) (*Assoc, error) {
+	ri, err := rel.Schema.MustIndex(rowCol)
+	if err != nil {
+		return nil, err
+	}
+	ci, err := rel.Schema.MustIndex(colCol)
+	if err != nil {
+		return nil, err
+	}
+	vi, err := rel.Schema.MustIndex(valCol)
+	if err != nil {
+		return nil, err
+	}
+	a := New()
+	for _, t := range rel.Tuples {
+		a.Set(t[ri].String(), t[ci].String(), t[vi].AsFloat())
+	}
+	return a, nil
+}
+
+// FromKVDump builds an associative array from a kvstore Dump relation
+// (row, family, qualifier, ts, value): the column key is
+// "family:qualifier" and values parse as floats when possible, else
+// count occurrences — D4M's standard Accumulo adjacency-array mapping.
+func FromKVDump(rel *engine.Relation) (*Assoc, error) {
+	if len(rel.Schema.Columns) != 5 {
+		return nil, fmt.Errorf("d4m: expected kvstore dump shape, got %v", rel.Schema)
+	}
+	a := New()
+	for _, t := range rel.Tuples {
+		col := t[1].String() + ":" + t[2].String()
+		v := t[4].AsFloat()
+		if v == 0 || v != v { // non-numeric value → presence indicator
+			v = 1
+		}
+		a.Set(t[0].String(), col, v)
+	}
+	return a, nil
+}
+
+// BFS performs breadth-first reachability from start over the adjacency
+// array (edges row→col), returning hop counts — the canonical D4M graph
+// kernel built from Multiply.
+func (a *Assoc) BFS(start string, maxHops int) map[string]int {
+	dist := map[string]int{start: 0}
+	frontier := New()
+	frontier.Set("q", start, 1)
+	for hop := 1; hop <= maxHops; hop++ {
+		next := frontier.Multiply(a)
+		frontier = New()
+		advanced := false
+		for _, m := range next.cells {
+			for c := range m {
+				if _, seen := dist[c]; !seen {
+					dist[c] = hop
+					frontier.Set("q", c, 1)
+					advanced = true
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return dist
+}
+
+// String renders a small array for debugging.
+func (a *Assoc) String() string {
+	var sb strings.Builder
+	for _, r := range a.Rows() {
+		for _, c := range a.Cols() {
+			if v := a.Get(r, c); v != 0 {
+				fmt.Fprintf(&sb, "(%s,%s)=%g ", r, c, v)
+			}
+		}
+	}
+	return strings.TrimSpace(sb.String())
+}

@@ -1,0 +1,215 @@
+package d4m
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+func graph(t *testing.T) *Assoc {
+	t.Helper()
+	a := New()
+	// a→b→c→d, a→c
+	a.Set("a", "b", 1)
+	a.Set("b", "c", 1)
+	a.Set("c", "d", 1)
+	a.Set("a", "c", 1)
+	return a
+}
+
+func TestSetGetSparseSemantics(t *testing.T) {
+	a := New()
+	a.Set("r1", "c1", 5)
+	if a.Get("r1", "c1") != 5 || a.NNZ() != 1 {
+		t.Errorf("basic set/get: %v", a)
+	}
+	if a.Get("r1", "missing") != 0 {
+		t.Error("absent cell should be 0")
+	}
+	a.Set("r1", "c1", 0) // deletes
+	if a.NNZ() != 0 || len(a.Rows()) != 0 {
+		t.Errorf("zero should delete: nnz=%d", a.NNZ())
+	}
+}
+
+func TestRowsColsSorted(t *testing.T) {
+	a := New()
+	a.Set("z", "9", 1)
+	a.Set("a", "5", 1)
+	a.Set("m", "7", 1)
+	rows := a.Rows()
+	if rows[0] != "a" || rows[2] != "z" {
+		t.Errorf("rows: %v", rows)
+	}
+	cols := a.Cols()
+	if cols[0] != "5" || cols[2] != "9" {
+		t.Errorf("cols: %v", cols)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := graph(t)
+	sub := a.SubsetRows("a", "b")
+	if sub.NNZ() != 3 { // a→b, a→c, b→c
+		t.Errorf("SubsetRows nnz = %d", sub.NNZ())
+	}
+	sub = a.SubsetCols("c", "c")
+	if sub.NNZ() != 2 { // a→c, b→c
+		t.Errorf("SubsetCols nnz = %d", sub.NNZ())
+	}
+	if a.SubsetRows("", "").NNZ() != a.NNZ() {
+		t.Error("open bounds should keep all")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	a := New()
+	a.Set("r", "c1", 1)
+	a.Set("r", "c2", 5)
+	f := a.Filter(func(v float64) bool { return v > 2 })
+	if f.NNZ() != 1 || f.Get("r", "c2") != 5 {
+		t.Errorf("filter: %v", f)
+	}
+}
+
+func TestAddElementMul(t *testing.T) {
+	a := New()
+	a.Set("r", "x", 1)
+	a.Set("r", "y", 2)
+	b := New()
+	b.Set("r", "y", 3)
+	b.Set("r", "z", 4)
+	sum := a.Add(b)
+	if sum.Get("r", "x") != 1 || sum.Get("r", "y") != 5 || sum.Get("r", "z") != 4 {
+		t.Errorf("add: %v", sum)
+	}
+	had := a.ElementMul(b)
+	if had.NNZ() != 1 || had.Get("r", "y") != 6 {
+		t.Errorf("hadamard: %v", had)
+	}
+}
+
+func TestMultiplyPathCounting(t *testing.T) {
+	a := graph(t)
+	two := a.Multiply(a) // 2-hop paths
+	// a→b→c and a→c→d and b→c→d.
+	if two.Get("a", "c") != 1 || two.Get("a", "d") != 1 || two.Get("b", "d") != 1 {
+		t.Errorf("2-hop: %v", two)
+	}
+	if two.Get("a", "b") != 0 {
+		t.Error("no 2-hop a→b")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := graph(t)
+	if !a.Transpose().Transpose().Equal(a) {
+		t.Error("transpose twice should be identity")
+	}
+	if a.Transpose().Get("b", "a") != 1 {
+		t.Error("transpose direction")
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		a := New()
+		for i := 0; i+1 < len(keys); i += 2 {
+			a.Set(string(rune('a'+keys[i]%26)), string(rune('a'+keys[i+1]%26)), float64(i+1))
+		}
+		return a.Transpose().Transpose().Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumRowsDegree(t *testing.T) {
+	a := graph(t)
+	deg := a.SumRows()
+	if deg.Get("a", "sum") != 2 || deg.Get("b", "sum") != 1 {
+		t.Errorf("degrees: %v", deg)
+	}
+}
+
+func TestRelationRoundTrip(t *testing.T) {
+	a := graph(t)
+	rel := a.ToRelation()
+	if rel.Len() != 4 {
+		t.Fatalf("triples: %d", rel.Len())
+	}
+	b, err := FromRelation(rel, "row", "col", "val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("relation round trip lost data")
+	}
+	if _, err := FromRelation(rel, "nope", "col", "val"); err == nil {
+		t.Error("missing column should fail")
+	}
+}
+
+func TestFromKVDump(t *testing.T) {
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("row", engine.TypeString), engine.Col("family", engine.TypeString),
+		engine.Col("qualifier", engine.TypeString), engine.Col("ts", engine.TypeInt),
+		engine.Col("value", engine.TypeString),
+	))
+	_ = rel.Append(engine.Tuple{engine.NewString("p1"), engine.NewString("note"), engine.NewString("d1"), engine.NewInt(1), engine.NewString("hello")})
+	_ = rel.Append(engine.Tuple{engine.NewString("p1"), engine.NewString("meta"), engine.NewString("age"), engine.NewInt(1), engine.NewString("70")})
+	a, err := FromKVDump(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Get("p1", "note:d1") != 1 { // non-numeric → presence
+		t.Errorf("presence cell: %v", a.Get("p1", "note:d1"))
+	}
+	if a.Get("p1", "meta:age") != 70 {
+		t.Errorf("numeric cell: %v", a.Get("p1", "meta:age"))
+	}
+	bad := engine.NewRelation(engine.NewSchema(engine.Col("x", engine.TypeInt)))
+	if _, err := FromKVDump(bad); err == nil {
+		t.Error("bad shape should fail")
+	}
+}
+
+func TestBFS(t *testing.T) {
+	a := graph(t)
+	dist := a.BFS("a", 10)
+	want := map[string]int{"a": 0, "b": 1, "c": 1, "d": 2}
+	for k, d := range want {
+		if dist[k] != d {
+			t.Errorf("dist[%s] = %d, want %d", k, dist[k], d)
+		}
+	}
+	if len(dist) != len(want) {
+		t.Errorf("dist: %v", dist)
+	}
+	// maxHops truncates.
+	short := a.BFS("a", 1)
+	if _, ok := short["d"]; ok {
+		t.Error("maxHops=1 should not reach d")
+	}
+}
+
+func TestMultiplyDistributesOverAdd(t *testing.T) {
+	// Property: (A+B)·C == A·C + B·C on small random arrays.
+	f := func(ka, kb, kc []uint8) bool {
+		build := func(keys []uint8, scale float64) *Assoc {
+			a := New()
+			for i := 0; i+1 < len(keys) && i < 12; i += 2 {
+				a.Set(string(rune('a'+keys[i]%4)), string(rune('a'+keys[i+1]%4)), scale*float64(i+1))
+			}
+			return a
+		}
+		a, b, c := build(ka, 1), build(kb, 2), build(kc, 3)
+		left := a.Add(b).Multiply(c)
+		right := a.Multiply(c).Add(b.Multiply(c))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package demo
+
+import (
+	"testing"
+
+	"repro/internal/mimic"
+)
+
+// TestCompletePatientPicture reproduces the §3 scenario: "since all of
+// the streaming data persists in either S-Store or the array engine,
+// the real-time monitoring and complex analytics on waveform data will
+// use cross-system query support to obtain a complete picture of a
+// patient". Recent samples live in the stream window, older samples
+// have aged into SciDB; a cross-island query reassembles the full
+// signal with no gaps or duplicates.
+func TestCompletePatientPicture(t *testing.T) {
+	cfg := mimic.DefaultConfig()
+	cfg.Patients = 30
+	cfg.WaveformSeconds = 2
+	sys, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Poly
+	rate := cfg.SampleRate
+
+	// Ingest 3 seconds: the window holds the last second, two seconds
+	// have aged into the vitals_history array.
+	const patient = 4
+	totalSamples := 3 * rate
+	if _, err := sys.IngestLive(patient, 0, totalSamples, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live part: the stream island's window.
+	live, err := p.Query(`STREAM(window(vitals))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Historical part: the array island.
+	hist, err := p.Query(`SCIDB(filter(vitals_history, patient = 4))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Len() != rate {
+		t.Fatalf("live window: %d samples, want %d", live.Len(), rate)
+	}
+	if hist.Len() != totalSamples-rate {
+		t.Fatalf("history: %d samples, want %d", hist.Len(), totalSamples-rate)
+	}
+
+	// Reassemble and verify the complete picture: every timestamp
+	// 0..totalSamples-1 exactly once.
+	seen := make([]bool, totalSamples)
+	tsIdx := live.Schema.Index("ts")
+	pidIdx := live.Schema.Index("patient")
+	for _, row := range live.Tuples {
+		if row[pidIdx].AsInt() != patient {
+			continue
+		}
+		ts := row[tsIdx].AsInt()
+		if seen[ts] {
+			t.Fatalf("duplicate live sample at ts=%d", ts)
+		}
+		seen[ts] = true
+	}
+	hTs := hist.Schema.Index("t")
+	for _, row := range hist.Tuples {
+		ts := row[hTs].AsInt()
+		if seen[ts] {
+			t.Fatalf("sample ts=%d present in both window and history", ts)
+		}
+		seen[ts] = true
+	}
+	for ts, ok := range seen {
+		if !ok {
+			t.Fatalf("gap in the complete picture at ts=%d", ts)
+		}
+	}
+
+	// The same reassembly through a single cross-island SQL query:
+	// CAST the live window to a relation and count both sides.
+	rel, err := p.Query(`RELATIONAL(SELECT COUNT(*) AS n FROM CAST(vitals, relation) WHERE patient = 4)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Tuples[0][0].I != int64(rate) {
+		t.Errorf("cross-island live count: %v, want %d", rel.Tuples[0][0], rate)
+	}
+}

@@ -1,0 +1,221 @@
+// Package demo assembles the BigDAWG MIMIC II demonstration (§3 of the
+// paper): it partitions the synthetic MIMIC II dataset across the
+// federation exactly as the demo does —
+//
+//	Postgres  ← patient metadata, admissions, labs, prescriptions
+//	SciDB     ← historical waveform samples (dense 2-D array)
+//	Accumulo  ← clinical notes (text-indexed)
+//	S-Store   ← live vitals stream with an anomaly-alert trigger
+//
+// — and registers everything in the polystore catalog.
+package demo
+
+import (
+	"fmt"
+
+	"repro/internal/analytics"
+	"repro/internal/array"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/kvstore"
+	"repro/internal/mimic"
+	"repro/internal/stream"
+)
+
+// Alert is one anomaly raised by the real-time monitoring trigger.
+type Alert struct {
+	Patient int64
+	TS      int64
+	Score   float64 // normalised RMSE vs the reference waveform
+}
+
+// System is the assembled demo federation.
+type System struct {
+	Poly    *core.Polystore
+	Dataset *mimic.Dataset
+
+	// Alerts collects anomaly alerts raised by the vitals trigger. The
+	// slice is only safe to read after ingestion quiesces.
+	Alerts []Alert
+
+	// AlertThreshold is the NRMSE score above which the trigger fires.
+	AlertThreshold float64
+}
+
+// WaveformPatients is how many patients get historical waveforms in
+// SciDB (a subset keeps the demo laptop-sized).
+const WaveformPatients = 20
+
+// Load generates the dataset and loads the federation.
+func Load(cfg mimic.Config) (*System, error) {
+	ds, err := mimic.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := core.New()
+	sys := &System{Poly: p, Dataset: ds, AlertThreshold: 1.0}
+
+	// --- Postgres: relational tables. ---
+	relTables := []struct {
+		name string
+		rel  *engine.Relation
+		pk   string
+	}{
+		{"patients", ds.Patients, "id"},
+		{"admissions", ds.Admissions, "adm_id"},
+		{"labs", ds.Labs, "lab_id"},
+		{"prescriptions", ds.Prescriptions, "rx_id"},
+	}
+	for _, t := range relTables {
+		if err := p.Relational.CreateTable(t.name, t.rel.Schema, t.pk); err != nil {
+			return nil, err
+		}
+		if err := p.Relational.InsertRelation(t.name, t.rel); err != nil {
+			return nil, err
+		}
+		if err := p.Register(t.name, core.EnginePostgres, t.name); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- SciDB: historical waveforms as a dense 2-D array. ---
+	nSamples := int64(cfg.SampleRate * cfg.WaveformSeconds)
+	nPatients := int64(cfg.Patients)
+	if nPatients > WaveformPatients {
+		nPatients = WaveformPatients
+	}
+	wf, err := array.New("waveforms", []array.Dim{
+		{Name: "patient", Low: 1, High: nPatients},
+		{Name: "t", Low: 0, High: nSamples - 1},
+	}, []engine.Column{engine.Col("v", engine.TypeFloat)}, true)
+	if err != nil {
+		return nil, err
+	}
+	for pid := int64(1); pid <= nPatients; pid++ {
+		samples := mimic.Waveform(cfg.Seed, int(pid), 0, int(nSamples), cfg.SampleRate, false)
+		for i, v := range samples {
+			if err := wf.Set([]int64{pid, int64(i)}, engine.Tuple{engine.NewFloat(v)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	p.ArrayStore.Put(wf)
+	if err := p.Register("waveforms", core.EngineSciDB, "waveforms"); err != nil {
+		return nil, err
+	}
+
+	// --- Accumulo: clinical notes with a text index on the note family. ---
+	if err := p.KV.CreateTable("notes", "note"); err != nil {
+		return nil, err
+	}
+	entries := make([]kvstore.Entry, 0, len(ds.Notes))
+	for _, n := range ds.Notes {
+		entries = append(entries, kvstore.Entry{
+			Key: kvstore.Key{
+				Row:       fmt.Sprintf("p%06d", n.PatientID),
+				Family:    "note",
+				Qualifier: fmt.Sprintf("%s_%02d", n.Author, n.Seq),
+				Timestamp: int64(n.Seq),
+			},
+			Value: n.Text,
+		})
+	}
+	if err := p.KV.PutBatch("notes", entries); err != nil {
+		return nil, err
+	}
+	if err := p.Register("notes", core.EngineAccumulo, "notes"); err != nil {
+		return nil, err
+	}
+
+	// --- S-Store: live vitals stream + anomaly trigger. ---
+	// Window holds one second of samples; the trigger compares the
+	// window to the patient's reference profile and raises an alert on
+	// divergence — the §1 "Real-Time Monitoring" workflow.
+	if err := p.Streams.CreateStream("vitals", engine.NewSchema(
+		engine.Col("patient", engine.TypeInt),
+		engine.Col("v", engine.TypeFloat),
+	), cfg.SampleRate); err != nil {
+		return nil, err
+	}
+	err = p.Streams.RegisterTrigger("vitals", "waveform_anomaly", func(view *stream.WindowView, rec stream.Record) error {
+		if view.Len() < cfg.SampleRate {
+			return nil // wait for a full window
+		}
+		pid := rec.Values[0].AsInt()
+		vals := make([]float64, 0, view.Len())
+		var firstTS int64 = -1
+		for i := 0; i < view.Len(); i++ {
+			r := view.At(i)
+			if r.Values[0].AsInt() != pid {
+				continue
+			}
+			if firstTS < 0 {
+				firstTS = r.TS
+			}
+			vals = append(vals, r.Values[1].AsFloat())
+		}
+		if len(vals) < cfg.SampleRate/2 {
+			return nil
+		}
+		ref := mimic.ReferenceWaveform(cfg.Seed, int(pid), int(firstTS), len(vals), cfg.SampleRate)
+		score, err := analytics.NormalizedRMSE(vals, ref)
+		if err != nil {
+			return nil // incomparable window shapes are not an abort
+		}
+		if score > sys.AlertThreshold {
+			sys.Alerts = append(sys.Alerts, Alert{Patient: pid, TS: rec.TS, Score: score})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Register("vitals", core.EngineSStore, "vitals"); err != nil {
+		return nil, err
+	}
+
+	// Aged-out stream records land in SciDB ("data ages out of S-Store
+	// and is loaded into SciDB", §3) — modelled by appending evicted
+	// records into a sparse history array.
+	history, err := array.New("vitals_history", []array.Dim{
+		{Name: "patient", Low: 1, High: int64(cfg.Patients)},
+		{Name: "t", Low: 0, High: 1 << 40},
+	}, []engine.Column{engine.Col("v", engine.TypeFloat)}, false)
+	if err != nil {
+		return nil, err
+	}
+	p.ArrayStore.Put(history)
+	if err := p.Register("vitals_history", core.EngineSciDB, "vitals_history"); err != nil {
+		return nil, err
+	}
+	p.Streams.OnEvict(func(streamName string, rec stream.Record) {
+		if streamName != "vitals" {
+			return
+		}
+		_ = history.Set([]int64{rec.Values[0].AsInt(), rec.TS},
+			engine.Tuple{rec.Values[1]})
+	})
+	return sys, nil
+}
+
+// IngestLive pushes n waveform samples for a patient into the vitals
+// stream, optionally with an arrhythmia anomaly, starting at sample
+// offset start. It returns the number of alerts raised during this
+// batch.
+func (sys *System) IngestLive(patient int, start, n int, anomaly bool) (int, error) {
+	cfg := sys.Dataset.Config
+	samples := mimic.Waveform(cfg.Seed, patient, start, n, cfg.SampleRate, anomaly)
+	before := len(sys.Alerts)
+	for i, v := range samples {
+		err := sys.Poly.Streams.Append("vitals", stream.Record{
+			TS: int64(start + i),
+			Values: engine.Tuple{
+				engine.NewInt(int64(patient)), engine.NewFloat(v),
+			},
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return len(sys.Alerts) - before, nil
+}

@@ -1,0 +1,141 @@
+package demo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mimic"
+)
+
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := mimic.DefaultConfig()
+	cfg.Patients = 60
+	cfg.WaveformSeconds = 2
+	sys, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestLoadPartitionsAcrossEngines(t *testing.T) {
+	sys := smallSystem(t)
+	wantEngines := map[string]string{
+		"patients": "postgres", "admissions": "postgres",
+		"labs": "postgres", "prescriptions": "postgres",
+		"waveforms": "scidb", "vitals_history": "scidb",
+		"notes": "accumulo", "vitals": "sstore",
+	}
+	for name, eng := range wantEngines {
+		info, ok := sys.Poly.Lookup(name)
+		if !ok || string(info.Engine) != eng {
+			t.Errorf("object %s: %+v (want %s)", name, info, eng)
+		}
+	}
+}
+
+func TestCrossIslandQueriesWork(t *testing.T) {
+	sys := smallSystem(t)
+	p := sys.Poly
+
+	// Relational (SQL analytics): drug frequency.
+	rel, err := p.Query(`POSTGRES(SELECT drug, COUNT(*) AS n FROM prescriptions GROUP BY drug ORDER BY n DESC)`)
+	if err != nil || rel.Len() == 0 {
+		t.Errorf("drug histogram: %v %v", rel, err)
+	}
+
+	// Array (waveform slice for patient 3).
+	rel, err = p.Query(`SCIDB(aggregate(filter(waveforms, patient = 3), count(v)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := int64(sys.Dataset.Config.SampleRate * sys.Dataset.Config.WaveformSeconds)
+	if rel.Tuples[0][0].AsInt() != wantSamples {
+		t.Errorf("patient 3 samples: %v, want %d", rel.Tuples[0][0], wantSamples)
+	}
+
+	// Text: the planted very-sick cohort surfaces.
+	rel, err = p.Query(`TEXT(search(notes, 'very sick', 3))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sys.Dataset.VerySickPatients(3)
+	if rel.Len() != len(want) {
+		t.Errorf("very-sick cohort: got %d rows, want %d", rel.Len(), len(want))
+	}
+
+	// Cross-engine CAST: SQL over the waveform array.
+	rel, err = p.Query(`RELATIONAL(SELECT COUNT(*) AS n FROM CAST(waveforms, relation) WHERE v > 1.0)`)
+	if err != nil || rel.Tuples[0][0].I == 0 {
+		t.Errorf("cast query: %v %v", rel, err)
+	}
+}
+
+func TestLiveIngestAndAnomalyAlerts(t *testing.T) {
+	sys := smallSystem(t)
+	rate := sys.Dataset.Config.SampleRate
+
+	// Two seconds of normal signal: no alerts.
+	n, err := sys.IngestLive(1, 0, 2*rate, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("normal signal raised %d alerts", n)
+	}
+	// One second of arrhythmia: alerts fire.
+	n, err = sys.IngestLive(1, 2*rate, rate, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("anomalous signal raised no alerts")
+	}
+	if sys.Alerts[0].Patient != 1 || sys.Alerts[0].Score <= sys.AlertThreshold {
+		t.Errorf("alert contents: %+v", sys.Alerts[0])
+	}
+}
+
+func TestAgedRecordsReachHistory(t *testing.T) {
+	sys := smallSystem(t)
+	rate := sys.Dataset.Config.SampleRate
+	// Fill the window twice over so half the records age out into SciDB.
+	if _, err := sys.IngestLive(2, 0, 2*rate, false); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := sys.Poly.Query(`SCIDB(aggregate(vitals_history, count(v)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Tuples[0][0].AsInt(); got != int64(rate) {
+		t.Errorf("history cells: %d, want %d", got, rate)
+	}
+}
+
+func TestStreamWindowQueryAfterIngest(t *testing.T) {
+	sys := smallSystem(t)
+	rate := sys.Dataset.Config.SampleRate
+	if _, err := sys.IngestLive(1, 0, rate/2, false); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := sys.Poly.Query(`STREAM(aggregate(vitals, count, v))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(rel.Tuples[0][0].AsFloat()) != rate/2 {
+		t.Errorf("window count: %v, want %d", rel.Tuples[0][0], rate/2)
+	}
+}
+
+func TestD4MOverNotes(t *testing.T) {
+	sys := smallSystem(t)
+	rel, err := sys.Poly.Query(`D4M(sumrows(assoc(notes)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != sys.Dataset.Config.Patients {
+		t.Errorf("note rows per patient: %d, want %d", rel.Len(), sys.Dataset.Config.Patients)
+	}
+	_ = fmt.Sprintf("%v", rel)
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV serialises the relation as CSV with a header row of
+// "name:TYPE" cells. This is the file-based import/export baseline the
+// paper contrasts the direct binary CAST against.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(r.Schema.Columns))
+	for i, c := range r.Schema.Columns {
+		header[i] = c.Name + ":" + c.Type.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			row[i] = v.String()
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a relation written by WriteCSV. Header cells may omit
+// the ":TYPE" suffix, in which case types are inferred from the first
+// data row.
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("engine: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("engine: csv has no header")
+	}
+	header := rows[0]
+	schema := Schema{Columns: make([]Column, len(header))}
+	needInfer := false
+	for i, h := range header {
+		name, typeName, ok := strings.Cut(h, ":")
+		if ok {
+			t, err := ParseType(typeName)
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns[i] = Column{Name: name, Type: t}
+		} else {
+			schema.Columns[i] = Column{Name: name, Type: TypeString}
+			needInfer = true
+		}
+	}
+	if needInfer && len(rows) > 1 {
+		for i := range schema.Columns {
+			if i < len(rows[1]) {
+				if t := Infer(rows[1][i]); t != TypeNull {
+					schema.Columns[i].Type = t
+				}
+			}
+		}
+	}
+	rel := NewRelation(schema)
+	rel.Tuples = make([]Tuple, 0, len(rows)-1)
+	for _, row := range rows[1:] {
+		t := make(Tuple, len(schema.Columns))
+		for i := range t {
+			if i >= len(row) {
+				t[i] = Null
+				continue
+			}
+			v, err := ParseValue(row[i], schema.Columns[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	return rel, nil
+}

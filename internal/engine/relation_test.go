@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRelation() *Relation {
+	r := NewRelation(NewSchema(
+		Col("id", TypeInt), Col("name", TypeString),
+		Col("score", TypeFloat), Col("active", TypeBool),
+	))
+	_ = r.Append(Tuple{NewInt(1), NewString("alice"), NewFloat(9.5), NewBool(true)})
+	_ = r.Append(Tuple{NewInt(2), NewString("bob"), NewFloat(7.25), NewBool(false)})
+	_ = r.Append(Tuple{NewInt(3), NewString("carol, the \"great\""), Null, NewBool(true)})
+	return r
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := sampleRelation().Schema
+	if got := s.Index("NAME"); got != 1 {
+		t.Errorf("case-insensitive Index = %d, want 1", got)
+	}
+	if got := s.Index("missing"); got != -1 {
+		t.Errorf("Index(missing) = %d, want -1", got)
+	}
+	if _, err := s.MustIndex("missing"); err == nil {
+		t.Error("MustIndex(missing) should fail")
+	}
+}
+
+func TestSchemaEqualAndString(t *testing.T) {
+	a := NewSchema(Col("x", TypeInt), Col("y", TypeFloat))
+	b := NewSchema(Col("X", TypeInt), Col("Y", TypeFloat))
+	c := NewSchema(Col("x", TypeInt))
+	if !a.Equal(b) {
+		t.Error("schemas should be equal ignoring case")
+	}
+	if a.Equal(c) {
+		t.Error("different arity schemas should differ")
+	}
+	if got := a.String(); got != "(x INT, y FLOAT)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRelationAppendArity(t *testing.T) {
+	r := NewRelation(NewSchema(Col("a", TypeInt)))
+	if err := r.Append(Tuple{NewInt(1), NewInt(2)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := r.Append(Tuple{NewInt(1)}); err != nil {
+		t.Errorf("valid append failed: %v", err)
+	}
+}
+
+func TestRelationColumnAndFloats(t *testing.T) {
+	r := sampleRelation()
+	col, err := r.Column("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[1].S != "bob" {
+		t.Errorf("Column(name)[1] = %v", col[1])
+	}
+	f, err := r.Floats("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, []float64{1, 2, 3}) {
+		t.Errorf("Floats(id) = %v", f)
+	}
+	if _, err := r.Column("nope"); err == nil {
+		t.Error("Column(nope) should fail")
+	}
+}
+
+func TestRelationSortBy(t *testing.T) {
+	r := NewRelation(NewSchema(Col("k", TypeInt), Col("v", TypeString)))
+	for _, kv := range []struct {
+		k int64
+		v string
+	}{{3, "c"}, {1, "a"}, {2, "b"}, {1, "a2"}} {
+		_ = r.Append(Tuple{NewInt(kv.k), NewString(kv.v)})
+	}
+	r.SortBy(0)
+	got := []string{r.Tuples[0][1].S, r.Tuples[1][1].S, r.Tuples[2][1].S, r.Tuples[3][1].S}
+	// Stable: "a" (inserted before "a2") stays first among k=1.
+	want := []string{"a", "a2", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortBy order = %v, want %v", got, want)
+	}
+}
+
+func TestRelationClone(t *testing.T) {
+	r := sampleRelation()
+	c := r.Clone()
+	c.Tuples[0][0] = NewInt(99)
+	if r.Tuples[0][0].I == 99 {
+		t.Error("Clone should deep-copy tuples")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := sampleRelation()
+	var buf bytes.Buffer
+	if err := r.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema.Equal(r.Schema) {
+		t.Fatalf("schema mismatch: %v vs %v", got.Schema, r.Schema)
+	}
+	if !reflect.DeepEqual(got.Tuples, r.Tuples) {
+		t.Errorf("tuples mismatch:\n%v\n%v", got.Tuples, r.Tuples)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	// Property: arbitrary int/float/string tuples survive the wire format.
+	f := func(ints []int64, label string) bool {
+		r := NewRelation(NewSchema(Col("i", TypeInt), Col("f", TypeFloat), Col("s", TypeString)))
+		for _, i := range ints {
+			_ = r.Append(Tuple{NewInt(i), NewFloat(float64(i) / 3), NewString(label)})
+		}
+		var buf bytes.Buffer
+		if err := r.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Tuples, r.Tuples)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryCorruptInput(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated input should fail")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sampleRelation()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema.Equal(r.Schema) {
+		t.Fatalf("schema mismatch: %v vs %v", got.Schema, r.Schema)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("row count %d != %d", got.Len(), r.Len())
+	}
+	// Quoted comma-containing string survives.
+	if got.Tuples[2][1].S != r.Tuples[2][1].S {
+		t.Errorf("string with comma mismatch: %q", got.Tuples[2][1].S)
+	}
+	// NULL float survives as NULL.
+	if !got.Tuples[2][2].IsNull() {
+		t.Errorf("NULL did not survive CSV: %v", got.Tuples[2][2])
+	}
+}
+
+func TestReadCSVInferredHeader(t *testing.T) {
+	in := "id,score,name\n1,2.5,abc\n2,3.5,def\n"
+	r, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewSchema(Col("id", TypeInt), Col("score", TypeFloat), Col("name", TypeString))
+	if !r.Schema.Equal(want) {
+		t.Errorf("inferred schema %v, want %v", r.Schema, want)
+	}
+	if r.Len() != 2 || r.Tuples[1][2].S != "def" {
+		t.Errorf("rows wrong: %v", r)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty csv should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("a:INT\nxyz\n")); err == nil {
+		t.Error("non-int cell should fail")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	s := sampleRelation().String()
+	if !strings.Contains(s, "alice") || !strings.Contains(s, "id | name") {
+		t.Errorf("String() rendering missing data: %q", s)
+	}
+}

@@ -1,0 +1,268 @@
+// Package engine defines the data-model primitives shared by every
+// BigDAWG storage engine and island: typed values, tuples, schemas and
+// relations. Keeping these in one place lets the CAST operator move data
+// between engines without per-pair conversion code.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates the value types understood by the federation. Every
+// island data model (relational tuples, array cells, KV entries, stream
+// records, associative arrays) bottoms out in these scalars.
+type Type uint8
+
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "STRING"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// ParseType maps a type name (case-insensitive, with common SQL aliases)
+// to a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT", "INT64", "SMALLINT":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "FLOAT64", "NUMERIC", "DECIMAL":
+		return TypeFloat, nil
+	case "STRING", "TEXT", "VARCHAR", "CHAR":
+		return TypeString, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	case "NULL":
+		return TypeNull, nil
+	default:
+		return TypeNull, fmt.Errorf("engine: unknown type %q", s)
+	}
+}
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+//
+// Value is a small struct rather than an interface so that hot loops in
+// the engines (scans, window aggregates, array kernels) avoid interface
+// allocation and devirtualisation costs.
+type Value struct {
+	Kind Type
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Null is the NULL value.
+var Null = Value{Kind: TypeNull}
+
+// NewInt returns an INT value.
+func NewInt(i int64) Value { return Value{Kind: TypeInt, I: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{Kind: TypeFloat, F: f} }
+
+// NewString returns a STRING value.
+func NewString(s string) Value { return Value{Kind: TypeString, S: s} }
+
+// NewBool returns a BOOL value.
+func NewBool(b bool) Value { return Value{Kind: TypeBool, B: b} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.Kind == TypeNull }
+
+// AsFloat coerces numeric values to float64. NULL coerces to NaN so that
+// it poisons arithmetic rather than silently reading as zero.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case TypeInt:
+		return float64(v.I)
+	case TypeFloat:
+		return v.F
+	case TypeBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	case TypeNull:
+		return math.NaN()
+	default:
+		f, err := strconv.ParseFloat(v.S, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	}
+}
+
+// AsInt coerces numeric values to int64 (floats truncate toward zero).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case TypeInt:
+		return v.I
+	case TypeFloat:
+		return int64(v.F)
+	case TypeBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		i, _ := strconv.ParseInt(v.S, 10, 64)
+		return i
+	}
+}
+
+// AsBool coerces to bool: non-zero numbers and "true" strings are true.
+func (v Value) AsBool() bool {
+	switch v.Kind {
+	case TypeBool:
+		return v.B
+	case TypeInt:
+		return v.I != 0
+	case TypeFloat:
+		return v.F != 0
+	case TypeString:
+		b, _ := strconv.ParseBool(v.S)
+		return b
+	default:
+		return false
+	}
+}
+
+// String renders the value for display and CSV export. NULL renders as
+// the empty string.
+func (v Value) String() string {
+	switch v.Kind {
+	case TypeNull:
+		return ""
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeString:
+		return v.S
+	case TypeBool:
+		return strconv.FormatBool(v.B)
+	default:
+		return fmt.Sprintf("<%v>", v.Kind)
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare numerically across INT/FLOAT/BOOL; strings compare
+// lexicographically. Mixed string/number comparisons compare the string
+// form, which matches the behaviour of the KV island where everything is
+// a byte string.
+func Compare(a, b Value) int {
+	if a.Kind == TypeNull || b.Kind == TypeNull {
+		switch {
+		case a.Kind == TypeNull && b.Kind == TypeNull:
+			return 0
+		case a.Kind == TypeNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.isNumeric() && b.isNumeric() {
+		if a.Kind == TypeInt && b.Kind == TypeInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// Equal reports whether two values compare equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+func (v Value) isNumeric() bool {
+	return v.Kind == TypeInt || v.Kind == TypeFloat || v.Kind == TypeBool
+}
+
+// ParseValue parses s into the given type. An empty string parses to
+// NULL for every type, matching CSV conventions.
+func ParseValue(s string, t Type) (Value, error) {
+	if s == "" {
+		return Null, nil
+	}
+	switch t {
+	case TypeInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("engine: parse int %q: %w", s, err)
+		}
+		return NewInt(i), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("engine: parse float %q: %w", s, err)
+		}
+		return NewFloat(f), nil
+	case TypeBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null, fmt.Errorf("engine: parse bool %q: %w", s, err)
+		}
+		return NewBool(b), nil
+	case TypeString:
+		return NewString(s), nil
+	default:
+		return Null, fmt.Errorf("engine: cannot parse into %v", t)
+	}
+}
+
+// Infer guesses the tightest Type for the string s, in the order
+// INT < FLOAT < BOOL < STRING. Used by CSV loaders.
+func Infer(s string) Type {
+	if s == "" {
+		return TypeNull
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return TypeInt
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return TypeFloat
+	}
+	if _, err := strconv.ParseBool(s); err == nil {
+		return TypeBool
+	}
+	return TypeString
+}

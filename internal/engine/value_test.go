@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeNull: "NULL", TypeInt: "INT", TypeFloat: "FLOAT",
+		TypeString: "STRING", TypeBool: "BOOL",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Type
+	}{
+		{"int", TypeInt}, {"INTEGER", TypeInt}, {"bigint", TypeInt},
+		{"float", TypeFloat}, {"DOUBLE", TypeFloat}, {"real", TypeFloat},
+		{"text", TypeString}, {"VARCHAR", TypeString},
+		{"bool", TypeBool}, {" BOOLEAN ", TypeBool},
+	} {
+		got, err := ParseType(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if got := NewInt(42).AsFloat(); got != 42 {
+		t.Errorf("int AsFloat = %v", got)
+	}
+	if got := NewFloat(3.7).AsInt(); got != 3 {
+		t.Errorf("float AsInt = %v", got)
+	}
+	if !NewBool(true).AsBool() || NewInt(0).AsBool() || !NewInt(5).AsBool() {
+		t.Error("AsBool coercion wrong")
+	}
+	if got := NewString("2.5").AsFloat(); got != 2.5 {
+		t.Errorf("string AsFloat = %v", got)
+	}
+	if !math.IsNaN(Null.AsFloat()) {
+		t.Error("NULL AsFloat should be NaN")
+	}
+	if got := NewBool(true).AsInt(); got != 1 {
+		t.Errorf("bool AsInt = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		// Mixed string/number compares string forms.
+		{NewString("10"), NewInt(10), 0},
+	} {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	// Property: Compare(a,b) == -Compare(b,a) for int values.
+	f := func(a, b int64) bool {
+		return Compare(NewInt(a), NewInt(b)) == -Compare(NewInt(b), NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	// Property: v -> String -> ParseValue round-trips for ints.
+	f := func(i int64) bool {
+		v := NewInt(i)
+		got, err := ParseValue(v.String(), TypeInt)
+		return err == nil && got.I == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Empty string parses to NULL for every type.
+	for _, typ := range []Type{TypeInt, TypeFloat, TypeString, TypeBool} {
+		v, err := ParseValue("", typ)
+		if err != nil || !v.IsNull() {
+			t.Errorf("ParseValue(\"\", %v) = %v, %v; want NULL", typ, v, err)
+		}
+	}
+	if _, err := ParseValue("abc", TypeInt); err == nil {
+		t.Error("ParseValue(abc, INT) should fail")
+	}
+}
+
+func TestInfer(t *testing.T) {
+	cases := map[string]Type{
+		"42": TypeInt, "4.2": TypeFloat, "true": TypeBool,
+		"hello": TypeString, "": TypeNull, "-17": TypeInt,
+		"1e9": TypeFloat,
+	}
+	for in, want := range cases {
+		if got := Infer(in); got != want {
+			t.Errorf("Infer(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"repro/internal/array"
+	"repro/internal/engine"
+)
+
+// arrayArray aliases the array engine's type for the helpers here.
+type arrayArray = array.Array
+
+func arrayNew(name string, patients, samples int64) (*arrayArray, error) {
+	return array.New(name, []array.Dim{
+		{Name: "patient", Low: 1, High: patients},
+		{Name: "t", Low: 0, High: samples - 1},
+	}, []engine.Column{engine.Col("v", engine.TypeFloat)}, true)
+}

@@ -1,0 +1,79 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchStore(b *testing.B, rows, notesPer int) *Store {
+	b.Helper()
+	s := NewStore()
+	if err := s.CreateTable("notes", "note"); err != nil {
+		b.Fatal(err)
+	}
+	var es []Entry
+	for r := 0; r < rows; r++ {
+		for q := 0; q < notesPer; q++ {
+			text := fmt.Sprintf("routine note %d for patient", q)
+			if r%10 == 0 && q < 3 {
+				text += " who is very sick today"
+			}
+			es = append(es, Entry{
+				Key:   Key{Row: fmt.Sprintf("p%06d", r), Family: "note", Qualifier: fmt.Sprintf("q%02d", q), Timestamp: int64(q)},
+				Value: text,
+			})
+		}
+	}
+	if err := s.PutBatch("notes", es); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := NewStore()
+	_ = s.CreateTable("t")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Put("t", Entry{Key: Key{Row: fmt.Sprintf("r%08d", i), Family: "f", Qualifier: "q"}, Value: "v"})
+	}
+}
+
+func BenchmarkRowGet(b *testing.B) {
+	s := benchStore(b, 2_000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("notes", "p000500"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	s := benchStore(b, 2_000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := s.Scan("notes", "p000100", "p000200", nil, func(Entry) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchIndexedVsScan(b *testing.B) {
+	s := benchStore(b, 2_000, 4)
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Search("notes", "very sick", 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full_scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SearchScan("notes", "very sick", 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

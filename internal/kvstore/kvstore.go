@@ -1,0 +1,455 @@
+// Package kvstore implements BigDAWG's Apache Accumulo substitute: a
+// sorted key-value store with (row, column family, qualifier, timestamp)
+// keys, range scans, server-side iterators, and an inverted text index
+// for the clinical-notes workload ("find patients with at least three
+// doctor's reports saying 'very sick'"). It backs the text island and
+// the Accumulo degenerate island.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Key identifies one cell, ordered lexicographically by
+// (Row, Family, Qualifier) and then by descending Timestamp so the
+// newest version scans first, matching Accumulo.
+type Key struct {
+	Row       string
+	Family    string
+	Qualifier string
+	Timestamp int64
+}
+
+// Entry is a key plus its value.
+type Entry struct {
+	Key   Key
+	Value string
+}
+
+// Less orders keys in scan order.
+func (k Key) Less(o Key) bool {
+	if k.Row != o.Row {
+		return k.Row < o.Row
+	}
+	if k.Family != o.Family {
+		return k.Family < o.Family
+	}
+	if k.Qualifier != o.Qualifier {
+		return k.Qualifier < o.Qualifier
+	}
+	return k.Timestamp > o.Timestamp // newest first
+}
+
+// Iterator is a server-side iterator applied during scans, mirroring
+// Accumulo's iterator stack: it may transform an entry or drop it.
+type Iterator func(e Entry) (Entry, bool)
+
+// Table is one sorted table of entries.
+type Table struct {
+	name    string
+	entries []Entry // kept sorted
+	sorted  bool
+
+	// Inverted text index: term -> row -> occurrence count. Built lazily
+	// over entries in indexed column families.
+	textIndex     map[string]map[string]int
+	indexFamilies map[string]bool
+}
+
+// Store is the key-value engine: named tables behind a RW lock.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	stats Stats
+}
+
+// Stats counts engine work for the cross-system monitor.
+type Stats struct {
+	Queries        int64
+	EntriesScanned int64
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{tables: map[string]*Table{}} }
+
+// Stats returns a snapshot of the engine counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// CreateTable registers a table. indexFamilies lists column families
+// whose values are tokenised into the full-text index.
+func (s *Store) CreateTable(name string, indexFamilies ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.tables[key]; ok {
+		return fmt.Errorf("kvstore: table %q already exists", name)
+	}
+	t := &Table{name: name, sorted: true, indexFamilies: map[string]bool{}}
+	for _, f := range indexFamilies {
+		t.indexFamilies[f] = true
+	}
+	if len(indexFamilies) > 0 {
+		t.textIndex = map[string]map[string]int{}
+	}
+	s.tables[key] = t
+	return nil
+}
+
+// DropTable removes a table.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.tables[key]; !ok {
+		return fmt.Errorf("kvstore: no table %q", name)
+	}
+	delete(s.tables, key)
+	return nil
+}
+
+// Tables lists table names.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for _, t := range s.tables {
+		out = append(out, t.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *Store) table(name string) (*Table, error) {
+	t, ok := s.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("kvstore: no table %q", name)
+	}
+	return t, nil
+}
+
+// Put writes one entry. Writes append and defer sorting until the next
+// scan (write-optimised, like Accumulo's in-memory map + compaction).
+func (s *Store) Put(table string, e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	t.entries = append(t.entries, e)
+	t.sorted = false
+	if t.textIndex != nil && t.indexFamilies[e.Key.Family] {
+		for term, n := range Tokenize(e.Value) {
+			rows := t.textIndex[term]
+			if rows == nil {
+				rows = map[string]int{}
+				t.textIndex[term] = rows
+			}
+			rows[e.Key.Row] += n
+		}
+	}
+	return nil
+}
+
+// PutBatch writes many entries with one lock acquisition.
+func (s *Store) PutBatch(table string, es []Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(table)
+	if err != nil {
+		return err
+	}
+	for _, e := range es {
+		t.entries = append(t.entries, e)
+		if t.textIndex != nil && t.indexFamilies[e.Key.Family] {
+			for term, n := range Tokenize(e.Value) {
+				rows := t.textIndex[term]
+				if rows == nil {
+					rows = map[string]int{}
+					t.textIndex[term] = rows
+				}
+				rows[e.Key.Row] += n
+			}
+		}
+	}
+	t.sorted = false
+	return nil
+}
+
+func (t *Table) ensureSorted() {
+	if !t.sorted {
+		sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].Key.Less(t.entries[j].Key) })
+		t.sorted = true
+	}
+}
+
+// Scan visits entries with row in [startRow, endRow] (empty bounds are
+// open) in key order, applying the iterator stack to each entry.
+func (s *Store) Scan(table, startRow, endRow string, iters []Iterator, fn func(Entry) error) error {
+	s.mu.Lock()
+	t, err := s.table(table)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	t.ensureSorted()
+	s.stats.Queries++
+	// Snapshot boundaries under the write lock, then scan under it too:
+	// sorting mutates, so the simple approach is to keep the lock. Scans
+	// are the dominant op; entries are immutable once sorted.
+	lo := 0
+	if startRow != "" {
+		lo = sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Key.Row >= startRow })
+	}
+	defer s.mu.Unlock()
+	for i := lo; i < len(t.entries); i++ {
+		e := t.entries[i]
+		if endRow != "" && e.Key.Row > endRow {
+			break
+		}
+		s.stats.EntriesScanned++
+		keep := true
+		for _, it := range iters {
+			e, keep = it(e)
+			if !keep {
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns all entries for one row.
+func (s *Store) Get(table, row string) ([]Entry, error) {
+	var out []Entry
+	err := s.Scan(table, row, row, nil, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// Len returns the entry count of a table.
+func (s *Store) Len(table string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.table(table)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.entries), nil
+}
+
+// FamilyFilter keeps only entries in the given column family.
+func FamilyFilter(family string) Iterator {
+	return func(e Entry) (Entry, bool) { return e, e.Key.Family == family }
+}
+
+// ValueContains keeps entries whose value contains the substring
+// (case-insensitive) — the brute-force text path used when no index
+// covers a family.
+func ValueContains(sub string) Iterator {
+	sub = strings.ToLower(sub)
+	return func(e Entry) (Entry, bool) {
+		return e, strings.Contains(strings.ToLower(e.Value), sub)
+	}
+}
+
+// Tokenize splits text into lower-case alphanumeric terms with counts.
+func Tokenize(text string) map[string]int {
+	out := map[string]int{}
+	start := -1
+	lower := strings.ToLower(text)
+	for i := 0; i <= len(lower); i++ {
+		isWord := false
+		if i < len(lower) {
+			c := lower[i]
+			isWord = c == '_' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+		}
+		if isWord {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			out[lower[start:i]]++
+			start = -1
+		}
+	}
+	return out
+}
+
+// SearchResult is one matching row from a text search.
+type SearchResult struct {
+	Row   string
+	Count int // minimum per-term occurrence count across the phrase terms
+}
+
+// Search finds rows where every term of the phrase occurs at least
+// minCount times, using the inverted index. Phrase terms are ANDed with
+// the per-row count being the minimum across terms, which implements
+// queries like "at least three reports saying 'very sick'".
+func (s *Store) Search(table, phrase string, minCount int) ([]SearchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.table(table)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Queries++
+	if t.textIndex == nil {
+		return nil, fmt.Errorf("kvstore: table %q has no text index", table)
+	}
+	terms := make([]string, 0, 4)
+	for term := range Tokenize(phrase) {
+		terms = append(terms, term)
+	}
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("kvstore: empty search phrase")
+	}
+	sort.Strings(terms)
+	// Start from the rarest term's posting list.
+	base := t.textIndex[terms[0]]
+	for _, term := range terms[1:] {
+		if len(t.textIndex[term]) < len(base) {
+			base = t.textIndex[term]
+		}
+	}
+	var out []SearchResult
+	for row := range base {
+		minN := 1 << 30
+		ok := true
+		for _, term := range terms {
+			n := t.textIndex[term][row]
+			if n == 0 {
+				ok = false
+				break
+			}
+			if n < minN {
+				minN = n
+			}
+		}
+		if ok && minN >= minCount {
+			out = append(out, SearchResult{Row: row, Count: minN})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out, nil
+}
+
+// SearchScan is the unindexed baseline: a full scan counting phrase
+// occurrences per row. Used by E10 to show why the text engine wins on
+// its home workload.
+func (s *Store) SearchScan(table, phrase string, minCount int) ([]SearchResult, error) {
+	terms := Tokenize(phrase)
+	counts := map[string]int{}
+	perRowTerm := map[string]map[string]int{}
+	err := s.Scan(table, "", "", nil, func(e Entry) error {
+		toks := Tokenize(e.Value)
+		m := perRowTerm[e.Key.Row]
+		if m == nil {
+			m = map[string]int{}
+			perRowTerm[e.Key.Row] = m
+		}
+		for term := range terms {
+			m[term] += toks[term]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for row, m := range perRowTerm {
+		minN := 1 << 30
+		ok := true
+		for term := range terms {
+			if m[term] == 0 {
+				ok = false
+				break
+			}
+			if m[term] < minN {
+				minN = m[term]
+			}
+		}
+		if ok && minN >= minCount {
+			counts[row] = minN
+		}
+	}
+	out := make([]SearchResult, 0, len(counts))
+	for row, n := range counts {
+		out = append(out, SearchResult{Row: row, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Row < out[j].Row
+	})
+	return out, nil
+}
+
+// Dump exports a table range as a relation (CAST egress).
+func (s *Store) Dump(table string) (*engine.Relation, error) {
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("row", engine.TypeString),
+		engine.Col("family", engine.TypeString),
+		engine.Col("qualifier", engine.TypeString),
+		engine.Col("ts", engine.TypeInt),
+		engine.Col("value", engine.TypeString),
+	))
+	err := s.Scan(table, "", "", nil, func(e Entry) error {
+		return rel.Append(engine.Tuple{
+			engine.NewString(e.Key.Row), engine.NewString(e.Key.Family),
+			engine.NewString(e.Key.Qualifier), engine.NewInt(e.Key.Timestamp),
+			engine.NewString(e.Value),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// LoadRelation imports a relation in Dump's five-column shape (CAST
+// ingest). Tables are created (unindexed) if absent.
+func (s *Store) LoadRelation(table string, rel *engine.Relation) error {
+	if len(rel.Schema.Columns) != 5 {
+		return fmt.Errorf("kvstore: LoadRelation needs (row, family, qualifier, ts, value), got %v", rel.Schema)
+	}
+	s.mu.Lock()
+	if _, ok := s.tables[strings.ToLower(table)]; !ok {
+		s.tables[strings.ToLower(table)] = &Table{name: table, sorted: true, indexFamilies: map[string]bool{}}
+	}
+	s.mu.Unlock()
+	es := make([]Entry, 0, rel.Len())
+	for _, row := range rel.Tuples {
+		es = append(es, Entry{
+			Key: Key{
+				Row: row[0].String(), Family: row[1].String(),
+				Qualifier: row[2].String(), Timestamp: row[3].AsInt(),
+			},
+			Value: row[4].String(),
+		})
+	}
+	return s.PutBatch(table, es)
+}

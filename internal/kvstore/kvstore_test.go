@@ -1,0 +1,276 @@
+package kvstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func noteStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.CreateTable("notes", "note"); err != nil {
+		t.Fatal(err)
+	}
+	puts := []struct {
+		row, fam, qual string
+		ts             int64
+		val            string
+	}{
+		{"p001", "note", "d1", 1, "patient is very sick, very sick indeed"},
+		{"p001", "note", "d2", 2, "still very sick today"},
+		{"p001", "note", "d3", 3, "very sick; administered aspirin"},
+		{"p002", "note", "d1", 1, "patient recovering well"},
+		{"p002", "note", "d2", 2, "feeling very sick after meal"},
+		{"p003", "note", "d1", 1, "routine checkup, all normal"},
+		{"p001", "meta", "age", 1, "70"},
+		{"p002", "meta", "age", 1, "62"},
+	}
+	for _, p := range puts {
+		if err := s.Put("notes", Entry{Key: Key{p.row, p.fam, p.qual, p.ts}, Value: p.val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestKeyOrdering(t *testing.T) {
+	a := Key{"r1", "f", "q", 5}
+	b := Key{"r1", "f", "q", 9}
+	if !b.Less(a) {
+		t.Error("newer timestamp should sort first")
+	}
+	if !(Key{"r1", "a", "z", 0}).Less(Key{"r1", "b", "a", 0}) {
+		t.Error("family ordering")
+	}
+	if !(Key{"a", "z", "z", 0}).Less(Key{"b", "a", "a", 0}) {
+		t.Error("row ordering dominates")
+	}
+}
+
+func TestCreateDrop(t *testing.T) {
+	s := NewStore()
+	if err := s.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable("T"); err == nil {
+		t.Error("duplicate (case-insensitive) create should fail")
+	}
+	if err := s.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("t"); err == nil {
+		t.Error("double drop should fail")
+	}
+	if err := s.Put("t", Entry{}); err == nil {
+		t.Error("put into dropped table should fail")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	s := noteStore(t)
+	var rows []string
+	err := s.Scan("notes", "p001", "p002", nil, func(e Entry) error {
+		rows = append(rows, e.Key.Row)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Errorf("range scan entries: %d, want 7", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] < rows[i-1] {
+			t.Errorf("scan not sorted: %v", rows)
+		}
+	}
+	// Open-ended scan sees all 8.
+	n := 0
+	_ = s.Scan("notes", "", "", nil, func(Entry) error { n++; return nil })
+	if n != 8 {
+		t.Errorf("full scan: %d", n)
+	}
+}
+
+func TestScanIterators(t *testing.T) {
+	s := noteStore(t)
+	var vals []string
+	err := s.Scan("notes", "", "", []Iterator{FamilyFilter("meta")}, func(e Entry) error {
+		vals = append(vals, e.Value)
+		return nil
+	})
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("family filter: %v %v", vals, err)
+	}
+	n := 0
+	_ = s.Scan("notes", "", "", []Iterator{FamilyFilter("note"), ValueContains("aspirin")}, func(Entry) error {
+		n++
+		return nil
+	})
+	if n != 1 {
+		t.Errorf("stacked iterators: %d", n)
+	}
+}
+
+func TestGet(t *testing.T) {
+	s := noteStore(t)
+	es, err := s.Get("notes", "p003")
+	if err != nil || len(es) != 1 {
+		t.Fatalf("Get: %v %v", es, err)
+	}
+	es, _ = s.Get("notes", "missing")
+	if len(es) != 0 {
+		t.Errorf("Get missing row: %v", es)
+	}
+}
+
+func TestTimestampVersionOrder(t *testing.T) {
+	s := NewStore()
+	_ = s.CreateTable("v")
+	_ = s.Put("v", Entry{Key: Key{"r", "f", "q", 1}, Value: "old"})
+	_ = s.Put("v", Entry{Key: Key{"r", "f", "q", 2}, Value: "new"})
+	es, _ := s.Get("v", "r")
+	if len(es) != 2 || es[0].Value != "new" {
+		t.Errorf("newest version should scan first: %v", es)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Very sick, very SICK indeed!")
+	if got["very"] != 2 || got["sick"] != 2 || got["indeed"] != 1 {
+		t.Errorf("Tokenize: %v", got)
+	}
+	if len(Tokenize("...!!!")) != 0 {
+		t.Error("punctuation-only should yield no tokens")
+	}
+	// Property: token counts sum to a value ≤ number of runs of word chars.
+	f := func(s string) bool {
+		total := 0
+		for _, n := range Tokenize(s) {
+			total += n
+		}
+		return total <= len(s)/1+1 || len(s) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchMinCount(t *testing.T) {
+	s := noteStore(t)
+	// "very sick" at least 3 times → only p001 (3 notes each containing it;
+	// occurrences: very=4, sick=4 → min 4 ≥ 3... recount: d1 has very
+	// twice + sick twice, d2 once, d3 once → very=4, sick=4).
+	res, err := s.Search("notes", "very sick", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Row != "p001" {
+		t.Errorf("Search min 3: %v", res)
+	}
+	// min 1 → p001 and p002.
+	res, _ = s.Search("notes", "very sick", 1)
+	if len(res) != 2 || res[0].Row != "p001" {
+		t.Errorf("Search min 1: %v", res)
+	}
+	// Term missing everywhere.
+	res, _ = s.Search("notes", "zebra", 1)
+	if len(res) != 0 {
+		t.Errorf("Search zebra: %v", res)
+	}
+	if _, err := s.Search("notes", "  , ", 1); err == nil {
+		t.Error("empty phrase should fail")
+	}
+	// Unindexed table.
+	_ = s.CreateTable("plain")
+	if _, err := s.Search("plain", "x", 1); err == nil {
+		t.Error("search on unindexed table should fail")
+	}
+}
+
+func TestSearchMatchesScanBaseline(t *testing.T) {
+	s := noteStore(t)
+	for _, minCount := range []int{1, 2, 3, 4} {
+		idx, err := s.Search("notes", "very sick", minCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, err := s.SearchScan("notes", "very sick", minCount)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(idx) != len(scan) {
+			t.Fatalf("min=%d: index %v vs scan %v", minCount, idx, scan)
+		}
+		for i := range idx {
+			if idx[i] != scan[i] {
+				t.Errorf("min=%d result %d: %v vs %v", minCount, i, idx[i], scan[i])
+			}
+		}
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	s := noteStore(t)
+	rel, err := s.Dump("notes")
+	if err != nil || rel.Len() != 8 {
+		t.Fatalf("Dump: %v %v", rel, err)
+	}
+	s2 := NewStore()
+	if err := s2.LoadRelation("copy", rel); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s2.Len("copy")
+	if n != 8 {
+		t.Errorf("loaded %d entries", n)
+	}
+	// Bad shape rejected.
+	rel2, _ := s2.Dump("copy")
+	rel2.Schema.Columns = rel2.Schema.Columns[:3]
+	if err := s2.LoadRelation("bad", rel2); err == nil {
+		t.Error("bad shape should fail")
+	}
+}
+
+func TestPutBatchLargeAndStats(t *testing.T) {
+	s := NewStore()
+	_ = s.CreateTable("big", "f")
+	var es []Entry
+	for i := 0; i < 1000; i++ {
+		es = append(es, Entry{
+			Key:   Key{Row: fmt.Sprintf("r%04d", i%100), Family: "f", Qualifier: fmt.Sprintf("q%d", i), Timestamp: int64(i)},
+			Value: fmt.Sprintf("value number %d with some words", i),
+		})
+	}
+	if err := s.PutBatch("big", es); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := s.Len("big")
+	if n != 1000 {
+		t.Fatalf("batch len: %d", n)
+	}
+	res, err := s.Search("big", "words", 1)
+	if err != nil || len(res) != 100 {
+		t.Fatalf("batch search: %d results, %v", len(res), err)
+	}
+	st := s.Stats()
+	if st.Queries == 0 {
+		t.Error("stats should count queries")
+	}
+	var rows []string
+	_ = s.Scan("big", "r0010", "r0010", nil, func(e Entry) error {
+		rows = append(rows, e.Key.Qualifier)
+		return nil
+	})
+	if len(rows) != 10 {
+		t.Errorf("row group scan: %d", len(rows))
+	}
+	if s.Stats().EntriesScanned <= st.EntriesScanned {
+		t.Error("scan should count entries")
+	}
+	if got := s.Tables(); len(got) != 1 || !strings.EqualFold(got[0], "big") {
+		t.Errorf("Tables: %v", got)
+	}
+}

@@ -1,0 +1,277 @@
+// Package mimic generates a deterministic synthetic stand-in for the
+// MIMIC II intensive-care dataset the BigDAWG demo runs on. Real
+// MIMIC II requires credentialed access, so this generator reproduces
+// the *shape* that drives every demo scenario:
+//
+//   - patient metadata (relational island / Postgres)
+//   - admissions with stay durations carrying a planted SeeDB signal:
+//     in the ICU cohort the race↔stay-length trend reverses the rest of
+//     the population, which is exactly the Figure 2 finding
+//   - ECG-like waveforms at 125 Hz with injectable arrhythmia bursts
+//     (array island / SciDB historical, streaming island / S-Store live)
+//   - clinical notes with planted "very sick" phrases (text island /
+//     Accumulo)
+//   - labs and prescriptions (relational)
+//
+// Everything derives from Config.Seed, so experiments are reproducible.
+package mimic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Config controls dataset size and shape.
+type Config struct {
+	Seed            int64
+	Patients        int
+	SampleRate      int // waveform Hz, 125 in MIMIC II
+	WaveformSeconds int // seconds of waveform per patient
+	NotesPerPatient int
+	LabsPerPatient  int
+}
+
+// DefaultConfig returns a laptop-sized dataset.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Patients:        500,
+		SampleRate:      125,
+		WaveformSeconds: 8,
+		NotesPerPatient: 4,
+		LabsPerPatient:  6,
+	}
+}
+
+// Note is one clinical note destined for the key-value engine.
+type Note struct {
+	PatientID int
+	Seq       int
+	Author    string
+	Text      string
+}
+
+// Dataset is the generated corpus.
+type Dataset struct {
+	Config        Config
+	Patients      *engine.Relation // id, name, age, sex, race
+	Admissions    *engine.Relation // adm_id, patient_id, ward, days, drug
+	Labs          *engine.Relation // lab_id, patient_id, test, value
+	Prescriptions *engine.Relation // rx_id, patient_id, drug, dose_mg
+	Notes         []Note
+
+	// verySickCounts records how many planted "very sick" phrases each
+	// patient's notes contain, for validating text-search results.
+	verySickCounts map[int]int
+}
+
+var (
+	races   = []string{"white", "black", "asian", "hispanic", "other"}
+	wards   = []string{"icu", "ward", "er"}
+	drugs   = []string{"aspirin", "heparin", "insulin", "metoprolol", "warfarin"}
+	tests   = []string{"lactate", "creatinine", "hemoglobin", "sodium", "potassium", "glucose"}
+	authors = []string{"dr_smith", "dr_jones", "nurse_lee", "dr_patel"}
+
+	noteFiller = []string{
+		"vitals stable overnight", "responded to treatment",
+		"scheduled for imaging", "family meeting held",
+		"continue current medication", "monitoring heart rhythm",
+		"mild fever observed", "appetite improving",
+		"pain controlled with medication", "breathing comfortably",
+	}
+)
+
+// Generate builds the dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Patients <= 0 || cfg.SampleRate <= 0 || cfg.WaveformSeconds <= 0 {
+		return nil, fmt.Errorf("mimic: config must be positive: %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Config: cfg, verySickCounts: map[int]int{}}
+
+	ds.Patients = engine.NewRelation(engine.NewSchema(
+		engine.Col("id", engine.TypeInt),
+		engine.Col("name", engine.TypeString),
+		engine.Col("age", engine.TypeInt),
+		engine.Col("sex", engine.TypeString),
+		engine.Col("race", engine.TypeString),
+	))
+	ds.Admissions = engine.NewRelation(engine.NewSchema(
+		engine.Col("adm_id", engine.TypeInt),
+		engine.Col("patient_id", engine.TypeInt),
+		engine.Col("ward", engine.TypeString),
+		engine.Col("days", engine.TypeFloat),
+		engine.Col("drug", engine.TypeString),
+	))
+	ds.Labs = engine.NewRelation(engine.NewSchema(
+		engine.Col("lab_id", engine.TypeInt),
+		engine.Col("patient_id", engine.TypeInt),
+		engine.Col("test", engine.TypeString),
+		engine.Col("value", engine.TypeFloat),
+	))
+	ds.Prescriptions = engine.NewRelation(engine.NewSchema(
+		engine.Col("rx_id", engine.TypeInt),
+		engine.Col("patient_id", engine.TypeInt),
+		engine.Col("drug", engine.TypeString),
+		engine.Col("dose_mg", engine.TypeFloat),
+	))
+
+	admID, labID, rxID := 1000, 5000, 9000
+	for id := 1; id <= cfg.Patients; id++ {
+		age := 20 + rng.Intn(70)
+		sex := "F"
+		if rng.Intn(2) == 0 {
+			sex = "M"
+		}
+		race := races[rng.Intn(len(races))]
+		name := fmt.Sprintf("patient_%04d", id)
+		_ = ds.Patients.Append(engine.Tuple{
+			engine.NewInt(int64(id)), engine.NewString(name),
+			engine.NewInt(int64(age)), engine.NewString(sex), engine.NewString(race),
+		})
+
+		// Admissions: 1–3 per patient. Stay duration carries the planted
+		// Figure 2 signal: population-wide, race "white" stays longer
+		// than race "black"; inside the ICU cohort the trend reverses.
+		nAdm := 1 + rng.Intn(3)
+		for a := 0; a < nAdm; a++ {
+			ward := wards[rng.Intn(len(wards))]
+			drug := drugs[rng.Intn(len(drugs))]
+			base := 3.0 + rng.Float64()*4 // 3–7 days baseline
+			switch {
+			case ward == "icu" && race == "white":
+				base -= 1.5 // reversal: white shorter in ICU
+			case ward == "icu" && race == "black":
+				base += 1.5 // reversal: black longer in ICU
+			case ward != "icu" && race == "white":
+				base += 1.0 // population trend: white longer overall
+			case ward != "icu" && race == "black":
+				base -= 1.0
+			}
+			if base < 0.5 {
+				base = 0.5
+			}
+			_ = ds.Admissions.Append(engine.Tuple{
+				engine.NewInt(int64(admID)), engine.NewInt(int64(id)),
+				engine.NewString(ward), engine.NewFloat(base), engine.NewString(drug),
+			})
+			admID++
+		}
+
+		for l := 0; l < cfg.LabsPerPatient; l++ {
+			test := tests[rng.Intn(len(tests))]
+			_ = ds.Labs.Append(engine.Tuple{
+				engine.NewInt(int64(labID)), engine.NewInt(int64(id)),
+				engine.NewString(test), engine.NewFloat(1 + rng.Float64()*10),
+			})
+			labID++
+		}
+
+		nRx := 1 + rng.Intn(3)
+		for r := 0; r < nRx; r++ {
+			_ = ds.Prescriptions.Append(engine.Tuple{
+				engine.NewInt(int64(rxID)), engine.NewInt(int64(id)),
+				engine.NewString(drugs[rng.Intn(len(drugs))]),
+				engine.NewFloat(float64(5 * (1 + rng.Intn(20)))),
+			})
+			rxID++
+		}
+
+		// Notes: ~20% of patients are flagged "very sick" and accumulate
+		// the phrase across several notes, enabling the text-analysis
+		// demo query ("at least three reports saying 'very sick'").
+		verySick := rng.Float64() < 0.2
+		for s := 0; s < cfg.NotesPerPatient; s++ {
+			var sb strings.Builder
+			sb.WriteString(noteFiller[rng.Intn(len(noteFiller))])
+			sb.WriteString(". ")
+			sb.WriteString(noteFiller[rng.Intn(len(noteFiller))])
+			if verySick && s < 3 {
+				sb.WriteString(". patient remains very sick")
+				ds.verySickCounts[id]++
+			}
+			sb.WriteString(".")
+			ds.Notes = append(ds.Notes, Note{
+				PatientID: id, Seq: s,
+				Author: authors[rng.Intn(len(authors))],
+				Text:   sb.String(),
+			})
+		}
+	}
+	return ds, nil
+}
+
+// VerySickCount returns the number of notes for the patient containing
+// the planted "very sick" phrase — ground truth for text-search tests.
+func (ds *Dataset) VerySickCount(patientID int) int { return ds.verySickCounts[patientID] }
+
+// VerySickPatients returns the IDs with at least minNotes planted notes.
+func (ds *Dataset) VerySickPatients(minNotes int) []int {
+	var out []int
+	for id, n := range ds.verySickCounts {
+		if n >= minNotes {
+			out = append(out, id)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// HeartRateHz returns the patient's deterministic resting heart rate in
+// Hz (beats/second), in the 1.0–1.5 range (60–90 bpm).
+func HeartRateHz(seed int64, patientID int) float64 {
+	h := seed*1099511628211 + int64(patientID)*40503
+	frac := float64((h>>16)&0xffff) / 65536
+	return 1.0 + 0.5*frac
+}
+
+// Waveform synthesises n samples of an ECG-like signal for a patient
+// starting at sample offset start: a fundamental at the patient's heart
+// rate plus harmonics and deterministic noise. If anomaly is true, an
+// arrhythmia burst (amplitude surge + frequency wobble) is injected —
+// the event the real-time monitor must detect.
+func Waveform(seed int64, patientID int, start, n int, sampleRate int, anomaly bool) []float64 {
+	hr := HeartRateHz(seed, patientID)
+	out := make([]float64, n)
+	rng := rand.New(rand.NewSource(seed ^ int64(patientID)<<20 ^ int64(start)))
+	for i := 0; i < n; i++ {
+		t := float64(start+i) / float64(sampleRate)
+		v := math.Sin(2*math.Pi*hr*t) +
+			0.5*math.Sin(2*math.Pi*2*hr*t+0.3) +
+			0.25*math.Sin(2*math.Pi*3*hr*t+0.7)
+		v += 0.05 * (rng.Float64()*2 - 1)
+		if anomaly {
+			// Burst: tripled amplitude with chaotic frequency content.
+			v = 3*v + math.Sin(2*math.Pi*7.3*hr*t)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ReferenceWaveform returns the patient's clean reference profile (no
+// noise, no anomaly) used by the monitoring workflow that "compares the
+// incoming waveforms to reference ones".
+func ReferenceWaveform(seed int64, patientID int, start, n int, sampleRate int) []float64 {
+	hr := HeartRateHz(seed, patientID)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(start+i) / float64(sampleRate)
+		out[i] = math.Sin(2*math.Pi*hr*t) +
+			0.5*math.Sin(2*math.Pi*2*hr*t+0.3) +
+			0.25*math.Sin(2*math.Pi*3*hr*t+0.7)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package mimic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytics"
+	"repro/internal/engine"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Patients = 50
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Patients.Len() != b.Patients.Len() || a.Admissions.Len() != b.Admissions.Len() {
+		t.Fatal("same seed should give same cardinalities")
+	}
+	for i := range a.Patients.Tuples {
+		for j := range a.Patients.Tuples[i] {
+			if !engine.Equal(a.Patients.Tuples[i][j], b.Patients.Tuples[i][j]) {
+				t.Fatalf("patient row %d differs", i)
+			}
+		}
+	}
+	if len(a.Notes) != len(b.Notes) || a.Notes[3].Text != b.Notes[3].Text {
+		t.Error("notes differ across runs")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config should fail")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Patients = 100
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Patients.Len() != 100 {
+		t.Errorf("patients: %d", ds.Patients.Len())
+	}
+	if n := ds.Admissions.Len(); n < 100 || n > 300 {
+		t.Errorf("admissions: %d", n)
+	}
+	if ds.Labs.Len() != 100*cfg.LabsPerPatient {
+		t.Errorf("labs: %d", ds.Labs.Len())
+	}
+	if len(ds.Notes) != 100*cfg.NotesPerPatient {
+		t.Errorf("notes: %d", len(ds.Notes))
+	}
+}
+
+func TestPlantedSeeDBSignal(t *testing.T) {
+	// The Figure 2 signal: among ICU admissions mean stay for white <
+	// black; outside the ICU the trend reverses.
+	cfg := DefaultConfig()
+	cfg.Patients = 400
+	ds, _ := Generate(cfg)
+	raceIdx := 4
+	pid := ds.Patients.Schema.Index("id")
+	raceOf := map[int64]string{}
+	for _, p := range ds.Patients.Tuples {
+		raceOf[p[pid].I] = p[raceIdx].S
+	}
+	var icuW, icuB, otherW, otherB []float64
+	for _, a := range ds.Admissions.Tuples {
+		race := raceOf[a[1].I]
+		days := a[3].F
+		icu := a[2].S == "icu"
+		switch {
+		case icu && race == "white":
+			icuW = append(icuW, days)
+		case icu && race == "black":
+			icuB = append(icuB, days)
+		case !icu && race == "white":
+			otherW = append(otherW, days)
+		case !icu && race == "black":
+			otherB = append(otherB, days)
+		}
+	}
+	if analytics.Mean(icuW) >= analytics.Mean(icuB) {
+		t.Errorf("ICU: white %.2f should be < black %.2f", analytics.Mean(icuW), analytics.Mean(icuB))
+	}
+	if analytics.Mean(otherW) <= analytics.Mean(otherB) {
+		t.Errorf("non-ICU: white %.2f should be > black %.2f", analytics.Mean(otherW), analytics.Mean(otherB))
+	}
+}
+
+func TestVerySickGroundTruth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Patients = 200
+	ds, _ := Generate(cfg)
+	sick := ds.VerySickPatients(3)
+	if len(sick) == 0 {
+		t.Fatal("no very-sick patients planted")
+	}
+	// ~20% of 200 = ~40.
+	if len(sick) < 10 || len(sick) > 100 {
+		t.Errorf("planted cohort size %d looks wrong", len(sick))
+	}
+	// Ground truth matches the note text.
+	counts := map[int]int{}
+	for _, n := range ds.Notes {
+		if contains(n.Text, "very sick") {
+			counts[n.PatientID]++
+		}
+	}
+	for _, id := range sick {
+		if counts[id] < 3 {
+			t.Errorf("patient %d flagged but only %d notes contain the phrase", id, counts[id])
+		}
+	}
+	if ds.VerySickCount(sick[0]) < 3 {
+		t.Errorf("VerySickCount(%d) = %d", sick[0], ds.VerySickCount(sick[0]))
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+outer:
+	for i := 0; i+len(sub) <= len(s); i++ {
+		for j := 0; j < len(sub); j++ {
+			if s[i+j] != sub[j] {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+func TestWaveformProperties(t *testing.T) {
+	const rate = 125
+	w := Waveform(1, 42, 0, rate*4, rate, false)
+	if len(w) != rate*4 {
+		t.Fatalf("length %d", len(w))
+	}
+	// Deterministic.
+	w2 := Waveform(1, 42, 0, rate*4, rate, false)
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("waveform not deterministic")
+		}
+	}
+	// Dominant frequency equals the patient's heart rate.
+	_, hz := analytics.DominantFrequency(w, rate)
+	hr := HeartRateHz(1, 42)
+	if math.Abs(hz-hr) > 0.3 {
+		t.Errorf("dominant frequency %.2f Hz, heart rate %.2f Hz", hz, hr)
+	}
+	// Heart rate in the 60–90 bpm band.
+	if hr < 1.0 || hr > 1.5 {
+		t.Errorf("heart rate %v out of band", hr)
+	}
+}
+
+func TestAnomalyDetectable(t *testing.T) {
+	const rate, n = 125, 500
+	normal := Waveform(1, 7, 0, n, rate, false)
+	anomalous := Waveform(1, 7, 0, n, rate, true)
+	ref := ReferenceWaveform(1, 7, 0, n, rate)
+	dNormal, err := analytics.NormalizedRMSE(normal, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dAnom, err := analytics.NormalizedRMSE(anomalous, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dNormal > 0.2 {
+		t.Errorf("normal waveform too far from reference: %v", dNormal)
+	}
+	if dAnom < 5*dNormal {
+		t.Errorf("anomaly not separable: normal %v vs anomalous %v", dNormal, dAnom)
+	}
+}
+
+func TestWaveformContinuity(t *testing.T) {
+	// Chunked generation must agree with one-shot generation on the
+	// deterministic (noise-free) reference component.
+	const rate = 125
+	full := ReferenceWaveform(1, 9, 0, 2*rate, rate)
+	first := ReferenceWaveform(1, 9, 0, rate, rate)
+	second := ReferenceWaveform(1, 9, rate, rate, rate)
+	for i := 0; i < rate; i++ {
+		if full[i] != first[i] || full[rate+i] != second[i] {
+			t.Fatal("chunked reference waveform diverges")
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecordAndLatency(t *testing.T) {
+	m := New()
+	m.Record("waveforms", ClassLinearAlgebra, "scidb", 10*time.Millisecond)
+	ms, ok := m.Latency("waveforms", ClassLinearAlgebra, "scidb")
+	if !ok || ms != 10 {
+		t.Errorf("latency = %v %v", ms, ok)
+	}
+	if _, ok := m.Latency("waveforms", ClassLookup, "scidb"); ok {
+		t.Error("unobserved class should report !ok")
+	}
+}
+
+func TestEWMARecencyBias(t *testing.T) {
+	m := New()
+	// Old slow observations followed by fast ones: smoothed value must
+	// approach the recent regime.
+	for i := 0; i < 5; i++ {
+		m.Record("t", ClassLookup, "e", 100*time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		m.Record("t", ClassLookup, "e", 1*time.Millisecond)
+	}
+	ms, _ := m.Latency("t", ClassLookup, "e")
+	if ms > 5 {
+		t.Errorf("EWMA too sticky: %v ms", ms)
+	}
+}
+
+func TestDominantClass(t *testing.T) {
+	m := New()
+	if _, ok := m.DominantClass("x"); ok {
+		t.Error("unknown object should report !ok")
+	}
+	m.Record("wf", ClassSQLAnalytics, "postgres", time.Millisecond)
+	m.Record("wf", ClassLinearAlgebra, "postgres", time.Millisecond)
+	m.Record("wf", ClassLinearAlgebra, "postgres", time.Millisecond)
+	class, ok := m.DominantClass("wf")
+	if !ok || class != ClassLinearAlgebra {
+		t.Errorf("dominant = %v %v", class, ok)
+	}
+}
+
+func TestBestEngineRequiresObservations(t *testing.T) {
+	m := New()
+	m.MinObservations = 3
+	m.Record("wf", ClassLinearAlgebra, "scidb", time.Millisecond)
+	if _, _, ok := m.BestEngine("wf", ClassLinearAlgebra); ok {
+		t.Error("one observation should not qualify with MinObservations=3")
+	}
+	m.Record("wf", ClassLinearAlgebra, "scidb", time.Millisecond)
+	m.Record("wf", ClassLinearAlgebra, "scidb", time.Millisecond)
+	eng, ms, ok := m.BestEngine("wf", ClassLinearAlgebra)
+	if !ok || eng != "scidb" || ms <= 0 {
+		t.Errorf("best = %v %v %v", eng, ms, ok)
+	}
+}
+
+func TestAdviseMigration(t *testing.T) {
+	m := New()
+	// Waveforms live in Postgres; linear-algebra queries dominate and
+	// the array-store probe is 10x faster → migrate.
+	for i := 0; i < 5; i++ {
+		m.Record("waveforms", ClassLinearAlgebra, "postgres", 50*time.Millisecond)
+		m.Record("waveforms", ClassLinearAlgebra, "scidb", 5*time.Millisecond) // probe
+	}
+	adv := m.Advise("waveforms", "postgres")
+	if !adv.ShouldMigrate || adv.To != "scidb" {
+		t.Fatalf("advice: %+v", adv)
+	}
+	if adv.Speedup < 5 {
+		t.Errorf("speedup %v", adv.Speedup)
+	}
+}
+
+func TestAdviseStaysWhenCurrentBest(t *testing.T) {
+	m := New()
+	for i := 0; i < 3; i++ {
+		m.Record("patients", ClassLookup, "postgres", time.Millisecond)
+		m.Record("patients", ClassLookup, "scidb", 20*time.Millisecond)
+	}
+	adv := m.Advise("patients", "postgres")
+	if adv.ShouldMigrate {
+		t.Errorf("should not migrate: %+v", adv)
+	}
+}
+
+func TestAdviseBelowThreshold(t *testing.T) {
+	m := New()
+	m.MinSpeedup = 2.0
+	for i := 0; i < 3; i++ {
+		m.Record("t", ClassSQLAnalytics, "a", 10*time.Millisecond)
+		m.Record("t", ClassSQLAnalytics, "b", 8*time.Millisecond)
+	}
+	adv := m.Advise("t", "a")
+	if adv.ShouldMigrate {
+		t.Errorf("1.25x speedup should not trigger at 2x threshold: %+v", adv)
+	}
+}
+
+func TestAdviseNoObservations(t *testing.T) {
+	m := New()
+	adv := m.Advise("ghost", "postgres")
+	if adv.ShouldMigrate || adv.Reason == "" {
+		t.Errorf("advice on unknown object: %+v", adv)
+	}
+}
+
+func TestAdviseWorkloadShift(t *testing.T) {
+	// The paper's scenario: workload shifts from SQL to linear algebra
+	// and the advice flips.
+	m := New()
+	for i := 0; i < 10; i++ {
+		m.Record("wf", ClassSQLAnalytics, "postgres", 2*time.Millisecond)
+		m.Record("wf", ClassSQLAnalytics, "scidb", 20*time.Millisecond)
+	}
+	if m.Advise("wf", "postgres").ShouldMigrate {
+		t.Fatal("should stay in postgres while SQL dominates")
+	}
+	// Shift: many more linear-algebra queries arrive.
+	for i := 0; i < 30; i++ {
+		m.Record("wf", ClassLinearAlgebra, "postgres", 80*time.Millisecond)
+		m.Record("wf", ClassLinearAlgebra, "scidb", 4*time.Millisecond)
+	}
+	adv := m.Advise("wf", "postgres")
+	if !adv.ShouldMigrate || adv.To != "scidb" || adv.Class != ClassLinearAlgebra {
+		t.Errorf("post-shift advice: %+v", adv)
+	}
+}

@@ -1,0 +1,478 @@
+// Package myria implements BigDAWG's Myria island: a programming model
+// of relational algebra extended with iteration (§2.1.1 of the paper),
+// plus a rule-based optimizer (selection pushdown and fusion) standing
+// in for Myria's "sophisticated optimizer". Plans execute against a
+// Source — the shim interface the polystore implements over its
+// engines (SciDB and Postgres in the paper).
+package myria
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/relational"
+)
+
+// Source resolves named base relations; the polystore provides an
+// implementation backed by its catalog and engines.
+type Source interface {
+	Relation(name string) (*engine.Relation, error)
+}
+
+// MapSource is a Source over an in-memory map, used in tests and for
+// iteration-state overlays.
+type MapSource map[string]*engine.Relation
+
+// Relation implements Source.
+func (m MapSource) Relation(name string) (*engine.Relation, error) {
+	if rel, ok := m[strings.ToLower(name)]; ok {
+		return rel, nil
+	}
+	return nil, fmt.Errorf("myria: no relation %q", name)
+}
+
+// overlay layers iteration state over a base source.
+type overlay struct {
+	base  Source
+	extra MapSource
+}
+
+func (o overlay) Relation(name string) (*engine.Relation, error) {
+	if rel, err := o.extra.Relation(name); err == nil {
+		return rel, nil
+	}
+	return o.base.Relation(name)
+}
+
+// Stats counts work done during one Execute, exposing what the
+// optimizer saves.
+type Stats struct {
+	RowsProcessed int64
+}
+
+// execCtx threads the source and counters through execution.
+type execCtx struct {
+	src   Source
+	stats *Stats
+}
+
+// Plan is a relational-algebra plan node.
+type Plan interface {
+	execute(ctx *execCtx) (*engine.Relation, error)
+	// String renders the plan for tests and EXPLAIN-style output.
+	String() string
+}
+
+// Scan reads a named base relation from the source.
+type Scan struct{ Name string }
+
+// Select filters rows by a SQL predicate over the child's columns.
+type Select struct {
+	Child Plan
+	Pred  string
+}
+
+// Project keeps the named columns in order.
+type Project struct {
+	Child Plan
+	Cols  []string
+}
+
+// Join is a hash equi-join on LeftCol = RightCol.
+type Join struct {
+	Left, Right       Plan
+	LeftCol, RightCol string
+}
+
+// AggSpec is one aggregate in a GroupBy: Kind over Col, output name As.
+type AggSpec struct {
+	Kind string // count, sum, avg, min, max
+	Col  string // ignored for count
+	As   string
+}
+
+// GroupBy groups by key columns and computes aggregates.
+type GroupBy struct {
+	Child Plan
+	Keys  []string
+	Aggs  []AggSpec
+}
+
+// Distinct removes duplicate rows.
+type Distinct struct{ Child Plan }
+
+// Union concatenates two plans with identical schemas.
+type Union struct{ Left, Right Plan }
+
+// Iterate implements Myria's iteration extension: starting from Init,
+// it repeatedly executes Body — in which the name StateName resolves to
+// the current iteration state — unions the result into the state, and
+// stops at a fixpoint (no new rows) or after MaxIters. This computes
+// fixpoints like transitive closure.
+type Iterate struct {
+	Init      Plan
+	Body      Plan
+	StateName string
+	MaxIters  int
+}
+
+// Execute runs a plan against a source, returning the result and stats.
+func Execute(p Plan, src Source) (*engine.Relation, *Stats, error) {
+	ctx := &execCtx{src: src, stats: &Stats{}}
+	rel, err := p.execute(ctx)
+	return rel, ctx.stats, err
+}
+
+func (s Scan) execute(ctx *execCtx) (*engine.Relation, error) {
+	rel, err := ctx.src.Relation(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	ctx.stats.RowsProcessed += int64(rel.Len())
+	return rel, nil
+}
+
+func (s Scan) String() string { return "scan(" + s.Name + ")" }
+
+func (s Select) execute(ctx *execCtx) (*engine.Relation, error) {
+	in, err := s.Child.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := relational.CompileRowExpr(s.Pred, in.Schema.Columns)
+	if err != nil {
+		return nil, err
+	}
+	out := engine.NewRelation(in.Schema)
+	for _, t := range in.Tuples {
+		ctx.stats.RowsProcessed++
+		v, err := pred(t)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() && v.AsBool() {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+func (s Select) String() string { return fmt.Sprintf("select[%s](%s)", s.Pred, s.Child) }
+
+func (p Project) execute(ctx *execCtx) (*engine.Relation, error) {
+	in, err := p.Child.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(p.Cols))
+	cols := make([]engine.Column, len(p.Cols))
+	for i, c := range p.Cols {
+		j, err := in.Schema.MustIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+		cols[i] = in.Schema.Columns[j]
+	}
+	out := engine.NewRelation(engine.Schema{Columns: cols})
+	out.Tuples = make([]engine.Tuple, len(in.Tuples))
+	for i, t := range in.Tuples {
+		ctx.stats.RowsProcessed++
+		nt := make(engine.Tuple, len(idx))
+		for k, j := range idx {
+			nt[k] = t[j]
+		}
+		out.Tuples[i] = nt
+	}
+	return out, nil
+}
+
+func (p Project) String() string {
+	return fmt.Sprintf("project[%s](%s)", strings.Join(p.Cols, ","), p.Child)
+}
+
+func (j Join) execute(ctx *execCtx) (*engine.Relation, error) {
+	left, err := j.Left.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	li, err := left.Schema.MustIndex(j.LeftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.Schema.MustIndex(j.RightCol)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[string][]engine.Tuple, right.Len())
+	for _, t := range right.Tuples {
+		if t[ri].IsNull() {
+			continue
+		}
+		k := t[ri].String()
+		build[k] = append(build[k], t)
+	}
+	cols := append(append([]engine.Column{}, left.Schema.Columns...), right.Schema.Columns...)
+	out := engine.NewRelation(engine.Schema{Columns: cols})
+	for _, lt := range left.Tuples {
+		ctx.stats.RowsProcessed++
+		if lt[li].IsNull() {
+			continue
+		}
+		for _, rt := range build[lt[li].String()] {
+			row := make(engine.Tuple, 0, len(lt)+len(rt))
+			row = append(row, lt...)
+			row = append(row, rt...)
+			out.Tuples = append(out.Tuples, row)
+		}
+	}
+	return out, nil
+}
+
+func (j Join) String() string {
+	return fmt.Sprintf("join[%s=%s](%s, %s)", j.LeftCol, j.RightCol, j.Left, j.Right)
+}
+
+func (g GroupBy) execute(ctx *execCtx) (*engine.Relation, error) {
+	in, err := g.Child.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	keyIdx := make([]int, len(g.Keys))
+	for i, k := range g.Keys {
+		j, err := in.Schema.MustIndex(k)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx[i] = j
+	}
+	aggIdx := make([]int, len(g.Aggs))
+	for i, a := range g.Aggs {
+		if strings.EqualFold(a.Kind, "count") {
+			aggIdx[i] = -1
+			continue
+		}
+		j, err := in.Schema.MustIndex(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		aggIdx[i] = j
+	}
+	type acc struct {
+		key engine.Tuple
+		n   []int64
+		sum []float64
+		min []float64
+		max []float64
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, t := range in.Tuples {
+		ctx.stats.RowsProcessed++
+		var kb strings.Builder
+		for _, j := range keyIdx {
+			kb.WriteString(t[j].String())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		a, ok := groups[k]
+		if !ok {
+			key := make(engine.Tuple, len(keyIdx))
+			for i, j := range keyIdx {
+				key[i] = t[j]
+			}
+			a = &acc{
+				key: key,
+				n:   make([]int64, len(g.Aggs)),
+				sum: make([]float64, len(g.Aggs)),
+				min: make([]float64, len(g.Aggs)),
+				max: make([]float64, len(g.Aggs)),
+			}
+			for i := range a.min {
+				a.min[i] = 1e308
+				a.max[i] = -1e308
+			}
+			groups[k] = a
+			order = append(order, k)
+		}
+		for i, j := range aggIdx {
+			if j < 0 {
+				a.n[i]++
+				continue
+			}
+			if t[j].IsNull() {
+				continue
+			}
+			v := t[j].AsFloat()
+			a.n[i]++
+			a.sum[i] += v
+			if v < a.min[i] {
+				a.min[i] = v
+			}
+			if v > a.max[i] {
+				a.max[i] = v
+			}
+		}
+	}
+	cols := make([]engine.Column, 0, len(g.Keys)+len(g.Aggs))
+	for i, k := range g.Keys {
+		cols = append(cols, in.Schema.Columns[keyIdx[i]])
+		_ = k
+	}
+	for _, a := range g.Aggs {
+		typ := engine.TypeFloat
+		if strings.EqualFold(a.Kind, "count") {
+			typ = engine.TypeInt
+		}
+		name := a.As
+		if name == "" {
+			name = strings.ToLower(a.Kind) + "_" + a.Col
+		}
+		cols = append(cols, engine.Col(name, typ))
+	}
+	out := engine.NewRelation(engine.Schema{Columns: cols})
+	for _, k := range order {
+		a := groups[k]
+		row := make(engine.Tuple, 0, len(cols))
+		row = append(row, a.key...)
+		for i, spec := range g.Aggs {
+			switch strings.ToLower(spec.Kind) {
+			case "count":
+				row = append(row, engine.NewInt(a.n[i]))
+			case "sum":
+				row = append(row, engine.NewFloat(a.sum[i]))
+			case "avg":
+				if a.n[i] == 0 {
+					row = append(row, engine.Null)
+				} else {
+					row = append(row, engine.NewFloat(a.sum[i]/float64(a.n[i])))
+				}
+			case "min":
+				if a.n[i] == 0 {
+					row = append(row, engine.Null)
+				} else {
+					row = append(row, engine.NewFloat(a.min[i]))
+				}
+			case "max":
+				if a.n[i] == 0 {
+					row = append(row, engine.Null)
+				} else {
+					row = append(row, engine.NewFloat(a.max[i]))
+				}
+			default:
+				return nil, fmt.Errorf("myria: unknown aggregate %q", spec.Kind)
+			}
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+func (g GroupBy) String() string {
+	return fmt.Sprintf("groupby[%s](%s)", strings.Join(g.Keys, ","), g.Child)
+}
+
+func (d Distinct) execute(ctx *execCtx) (*engine.Relation, error) {
+	in, err := d.Child.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	out := engine.NewRelation(in.Schema)
+	for _, t := range in.Tuples {
+		ctx.stats.RowsProcessed++
+		var kb strings.Builder
+		for _, v := range t {
+			kb.WriteString(v.String())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+func (d Distinct) String() string { return fmt.Sprintf("distinct(%s)", d.Child) }
+
+func (u Union) execute(ctx *execCtx) (*engine.Relation, error) {
+	left, err := u.Left.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := u.Right.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(left.Schema.Columns) != len(right.Schema.Columns) {
+		return nil, fmt.Errorf("myria: union arity mismatch %d vs %d",
+			len(left.Schema.Columns), len(right.Schema.Columns))
+	}
+	out := engine.NewRelation(left.Schema)
+	out.Tuples = append(append([]engine.Tuple{}, left.Tuples...), right.Tuples...)
+	return out, nil
+}
+
+func (u Union) String() string { return fmt.Sprintf("union(%s, %s)", u.Left, u.Right) }
+
+func (it Iterate) execute(ctx *execCtx) (*engine.Relation, error) {
+	if it.MaxIters <= 0 || it.StateName == "" {
+		return nil, fmt.Errorf("myria: Iterate needs StateName and MaxIters > 0")
+	}
+	state, err := it.Init.execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	state = dedupe(state)
+	for i := 0; i < it.MaxIters; i++ {
+		iterCtx := &execCtx{
+			src:   overlay{base: ctx.src, extra: MapSource{strings.ToLower(it.StateName): state}},
+			stats: ctx.stats,
+		}
+		delta, err := it.Body.execute(iterCtx)
+		if err != nil {
+			return nil, err
+		}
+		if len(delta.Schema.Columns) != len(state.Schema.Columns) {
+			return nil, fmt.Errorf("myria: iteration body arity %d != state arity %d",
+				len(delta.Schema.Columns), len(state.Schema.Columns))
+		}
+		merged := engine.NewRelation(state.Schema)
+		merged.Tuples = append(append([]engine.Tuple{}, state.Tuples...), delta.Tuples...)
+		merged = dedupe(merged)
+		if merged.Len() == state.Len() {
+			return state, nil // fixpoint
+		}
+		state = merged
+	}
+	return state, nil
+}
+
+func (it Iterate) String() string {
+	return fmt.Sprintf("iterate[%s,%d](%s; %s)", it.StateName, it.MaxIters, it.Init, it.Body)
+}
+
+func dedupe(rel *engine.Relation) *engine.Relation {
+	seen := map[string]bool{}
+	out := engine.NewRelation(rel.Schema)
+	for _, t := range rel.Tuples {
+		var kb strings.Builder
+		for _, v := range t {
+			kb.WriteString(v.String())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package myria
+
+import (
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// Optimize applies rule-based rewrites until a fixpoint:
+//
+//  1. selection fusion:     select[p](select[q](x)) → select[p AND q](x)
+//  2. selection pushdown through joins: a predicate referencing only
+//     one side's columns moves below the join, shrinking the join
+//     input — the classic rewrite Myria's optimizer performs.
+//  3. selection pushdown through unions and distinct.
+//
+// The rewrites are semantics-preserving; TestOptimizePreservesResults
+// verifies equivalence and TestOptimizeReducesWork verifies the win.
+func Optimize(p Plan) Plan {
+	for i := 0; i < 10; i++ {
+		np, changed := rewrite(p)
+		p = np
+		if !changed {
+			break
+		}
+	}
+	return p
+}
+
+func rewrite(p Plan) (Plan, bool) {
+	switch node := p.(type) {
+	case Select:
+		child, changed := rewrite(node.Child)
+		node.Child = child
+		switch c := node.Child.(type) {
+		case Select:
+			return Select{Child: c.Child, Pred: "(" + c.Pred + ") AND (" + node.Pred + ")"}, true
+		case Join:
+			cols, ok := predColumns(node.Pred)
+			if !ok {
+				return node, changed
+			}
+			if sideHasAll(c.Left, cols) {
+				c.Left = Select{Child: c.Left, Pred: node.Pred}
+				return c, true
+			}
+			if sideHasAll(c.Right, cols) {
+				c.Right = Select{Child: c.Right, Pred: node.Pred}
+				return c, true
+			}
+			return node, changed
+		case Union:
+			c.Left = Select{Child: c.Left, Pred: node.Pred}
+			c.Right = Select{Child: c.Right, Pred: node.Pred}
+			return c, true
+		case Distinct:
+			c.Child = Select{Child: c.Child, Pred: node.Pred}
+			return c, true
+		default:
+			return node, changed
+		}
+	case Project:
+		child, changed := rewrite(node.Child)
+		node.Child = child
+		return node, changed
+	case Join:
+		l, lc := rewrite(node.Left)
+		r, rc := rewrite(node.Right)
+		node.Left, node.Right = l, r
+		return node, lc || rc
+	case GroupBy:
+		child, changed := rewrite(node.Child)
+		node.Child = child
+		return node, changed
+	case Distinct:
+		child, changed := rewrite(node.Child)
+		node.Child = child
+		return node, changed
+	case Union:
+		l, lc := rewrite(node.Left)
+		r, rc := rewrite(node.Right)
+		node.Left, node.Right = l, r
+		return node, lc || rc
+	case Iterate:
+		init, ic := rewrite(node.Init)
+		body, bc := rewrite(node.Body)
+		node.Init, node.Body = init, body
+		return node, ic || bc
+	default:
+		return p, false
+	}
+}
+
+// predColumns extracts the column names referenced by a predicate;
+// ok=false if the predicate cannot be parsed.
+func predColumns(pred string) (map[string]bool, bool) {
+	expr, err := relational.ParseExpression(pred)
+	if err != nil {
+		return nil, false
+	}
+	cols := map[string]bool{}
+	collectCols(expr, cols)
+	return cols, true
+}
+
+func collectCols(e relational.Expr, out map[string]bool) {
+	switch ex := e.(type) {
+	case relational.ColumnRef:
+		out[strings.ToLower(ex.Name)] = true
+	case relational.BinaryExpr:
+		collectCols(ex.Left, out)
+		collectCols(ex.Right, out)
+	case relational.UnaryExpr:
+		collectCols(ex.Expr, out)
+	case relational.FuncCall:
+		for _, a := range ex.Args {
+			collectCols(a, out)
+		}
+	case relational.InExpr:
+		collectCols(ex.Expr, out)
+		for _, a := range ex.List {
+			collectCols(a, out)
+		}
+	case relational.IsNullExpr:
+		collectCols(ex.Expr, out)
+	case relational.BetweenExpr:
+		collectCols(ex.Expr, out)
+		collectCols(ex.Lo, out)
+		collectCols(ex.Hi, out)
+	}
+}
+
+// sideHasAll reports whether every referenced column is produced by the
+// plan side, judged from its static output columns. Unknown producers
+// (Scan) report false because their schema isn't known until execution
+// — pushdown below a Scan is unnecessary anyway.
+func sideHasAll(p Plan, cols map[string]bool) bool {
+	out, ok := outputColumns(p)
+	if !ok {
+		return false
+	}
+	for c := range cols {
+		if !out[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// outputColumns statically derives a plan's output column set where
+// possible.
+func outputColumns(p Plan) (map[string]bool, bool) {
+	switch node := p.(type) {
+	case Project:
+		out := map[string]bool{}
+		for _, c := range node.Cols {
+			out[strings.ToLower(c)] = true
+		}
+		return out, true
+	case Select:
+		return outputColumns(node.Child)
+	case Distinct:
+		return outputColumns(node.Child)
+	case GroupBy:
+		out := map[string]bool{}
+		for _, k := range node.Keys {
+			out[strings.ToLower(k)] = true
+		}
+		for _, a := range node.Aggs {
+			name := a.As
+			if name == "" {
+				name = strings.ToLower(a.Kind) + "_" + a.Col
+			}
+			out[strings.ToLower(name)] = true
+		}
+		return out, true
+	case Join:
+		l, lok := outputColumns(node.Left)
+		r, rok := outputColumns(node.Right)
+		if !lok || !rok {
+			return nil, false
+		}
+		for c := range r {
+			l[c] = true
+		}
+		return l, true
+	default:
+		return nil, false
+	}
+}

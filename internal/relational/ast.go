@@ -1,0 +1,205 @@
+package relational
+
+import "repro/internal/engine"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression node.
+type Expr interface{ expr() }
+
+// CreateTable is CREATE TABLE name (col type [PRIMARY KEY], ...).
+type CreateTable struct {
+	Name       string
+	Schema     engine.Schema
+	PrimaryKey string // column name, "" if none
+}
+
+// CreateIndex is CREATE INDEX name ON table (col).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // empty means schema order
+	Rows    [][]Expr
+}
+
+// Update is UPDATE name SET col = expr, ... [WHERE cond].
+type Update struct {
+	Table string
+	Set   map[string]Expr
+	Where Expr // nil means all rows
+}
+
+// Delete is DELETE FROM name [WHERE cond].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Select is a full SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     *TableRef // nil for SELECT <expr> with no FROM
+	Joins    []Join
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 if absent
+	Offset   int
+}
+
+// SelectItem is one projection: expression plus optional alias; Star
+// marks "*" (optionally qualified as "t.*").
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+	Table string // for "t.*"
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// JoinKind distinguishes join types.
+type JoinKind int
+
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// Join is one JOIN clause.
+type Join struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr // nil for CROSS
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (CreateTable) stmt() {}
+func (CreateIndex) stmt() {}
+func (DropTable) stmt()   {}
+func (Insert) stmt()      {}
+func (Update) stmt()      {}
+func (Delete) stmt()      {}
+func (*Select) stmt()     {}
+
+// Literal is a constant value.
+type Literal struct{ Val engine.Value }
+
+// ColumnRef references a column, optionally table-qualified.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+// BinaryExpr is a binary operation: arithmetic, comparison, AND/OR,
+// LIKE, string concat (||).
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op   string
+	Expr Expr
+}
+
+// FuncCall is a scalar or aggregate function call. Star marks COUNT(*).
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// InExpr is expr [NOT] IN (list).
+type InExpr struct {
+	Expr Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNullExpr is expr IS [NOT] NULL.
+type IsNullExpr struct {
+	Expr Expr
+	Not  bool
+}
+
+// BetweenExpr is expr [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	Expr, Lo, Hi Expr
+	Not          bool
+}
+
+func (Literal) expr()     {}
+func (ColumnRef) expr()   {}
+func (BinaryExpr) expr()  {}
+func (UnaryExpr) expr()   {}
+func (FuncCall) expr()    {}
+func (InExpr) expr()      {}
+func (IsNullExpr) expr()  {}
+func (BetweenExpr) expr() {}
+
+// aggregateNames lists SQL aggregate functions the executor understands.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"STDDEV": true,
+}
+
+// hasAggregate reports whether the expression tree contains an aggregate
+// function call.
+func hasAggregate(e Expr) bool {
+	switch ex := e.(type) {
+	case nil:
+		return false
+	case FuncCall:
+		if aggregateNames[ex.Name] {
+			return true
+		}
+		for _, a := range ex.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case BinaryExpr:
+		return hasAggregate(ex.Left) || hasAggregate(ex.Right)
+	case UnaryExpr:
+		return hasAggregate(ex.Expr)
+	case InExpr:
+		if hasAggregate(ex.Expr) {
+			return true
+		}
+		for _, a := range ex.List {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case IsNullExpr:
+		return hasAggregate(ex.Expr)
+	case BetweenExpr:
+		return hasAggregate(ex.Expr) || hasAggregate(ex.Lo) || hasAggregate(ex.Hi)
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package relational
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := NewDB()
+	if _, err := db.Execute(`CREATE TABLE t (id INT PRIMARY KEY, grp INT, v FLOAT, label TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("id", engine.TypeInt), engine.Col("grp", engine.TypeInt),
+		engine.Col("v", engine.TypeFloat), engine.Col("label", engine.TypeString)))
+	for i := 0; i < rows; i++ {
+		_ = rel.Append(engine.Tuple{
+			engine.NewInt(int64(i)), engine.NewInt(int64(i % 50)),
+			engine.NewFloat(float64(i) / 7), engine.NewString(fmt.Sprintf("label_%d", i%10)),
+		})
+	}
+	// Bulk-load via a staging table to keep the PK index.
+	for _, row := range rel.Tuples {
+		db.mu.Lock()
+		tbl, _ := db.table("t")
+		if err := tbl.insert(row); err != nil {
+			db.mu.Unlock()
+			b.Fatal(err)
+		}
+		db.mu.Unlock()
+	}
+	return db
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := NewDB()
+	if _, err := db.Execute(`CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Execute(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d.5)`, i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointLookupPK(b *testing.B) {
+	db := benchDB(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT * FROM t WHERE id = 5000`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterScan(b *testing.B) {
+	db := benchDB(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT id FROM t WHERE v > 700.0 AND grp < 25`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT grp, COUNT(*), AVG(v), MAX(v) FROM t GROUP BY grp`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 5_000)
+	if _, err := db.Execute(`CREATE TABLE g (grp INT PRIMARY KEY, name TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Execute(fmt.Sprintf(`INSERT INTO g VALUES (%d, 'group_%d')`, i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT g.name, COUNT(*) FROM t JOIN g ON t.grp = g.grp GROUP BY g.name`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSecondaryIndexVsScan(b *testing.B) {
+	b.Run("scan", func(b *testing.B) {
+		db := benchDB(b, 10_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(`SELECT COUNT(*) FROM t WHERE grp = 7`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		db := benchDB(b, 10_000)
+		if _, err := db.Execute(`CREATE INDEX idx_grp ON t (grp)`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(`SELECT COUNT(*) FROM t WHERE grp = 7`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkParse(b *testing.B) {
+	const sql = `SELECT g.name, COUNT(*) AS n, AVG(t.v) FROM t JOIN g ON t.grp = g.grp WHERE t.v BETWEEN 10 AND 90 GROUP BY g.name HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,1039 @@
+package relational
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Execute parses and runs one SQL statement. DML statements return a
+// single-row relation reporting affected row counts; SELECT returns its
+// result set.
+func (db *DB) Execute(sql string) (*engine.Relation, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case CreateTable:
+		if err := db.CreateTable(s.Name, s.Schema, s.PrimaryKey); err != nil {
+			return nil, err
+		}
+		return statusRelation("created", 0), nil
+	case CreateIndex:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t, err := db.table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.addIndex(s.Column); err != nil {
+			return nil, err
+		}
+		return statusRelation("indexed", 0), nil
+	case DropTable:
+		if err := db.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return statusRelation("dropped", 0), nil
+	case Insert:
+		n, err := db.executeInsert(s)
+		if err != nil {
+			return nil, err
+		}
+		return statusRelation("inserted", n), nil
+	case Update:
+		n, err := db.executeUpdate(s)
+		if err != nil {
+			return nil, err
+		}
+		return statusRelation("updated", n), nil
+	case Delete:
+		n, err := db.executeDelete(s)
+		if err != nil {
+			return nil, err
+		}
+		return statusRelation("deleted", n), nil
+	case *Select:
+		return db.ExecuteSelect(s)
+	default:
+		return nil, fmt.Errorf("relational: unhandled statement %T", stmt)
+	}
+}
+
+// Query is Execute restricted to SELECT, for island use.
+func (db *DB) Query(sql string) (*engine.Relation, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("relational: Query requires SELECT, got %T", stmt)
+	}
+	return db.ExecuteSelect(sel)
+}
+
+func statusRelation(op string, n int) *engine.Relation {
+	rel := engine.NewRelation(engine.NewSchema(engine.Col("status", engine.TypeString), engine.Col("rows", engine.TypeInt)))
+	_ = rel.Append(engine.Tuple{engine.NewString(op), engine.NewInt(int64(n))})
+	return rel
+}
+
+func (db *DB) executeInsert(s Insert) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	colIdx := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		ci := t.Schema.Index(c)
+		if ci < 0 {
+			return 0, fmt.Errorf("relational: %s: no column %q", s.Table, c)
+		}
+		colIdx[i] = ci
+	}
+	n := 0
+	for _, exprRow := range s.Rows {
+		row := make(engine.Tuple, len(t.Schema.Columns))
+		for i := range row {
+			row[i] = engine.Null
+		}
+		if len(s.Columns) == 0 {
+			if len(exprRow) != len(row) {
+				return n, fmt.Errorf("relational: %s: VALUES arity %d != %d", s.Table, len(exprRow), len(row))
+			}
+			for i, e := range exprRow {
+				v, err := evalConst(e)
+				if err != nil {
+					return n, err
+				}
+				row[i] = v
+			}
+		} else {
+			if len(exprRow) != len(s.Columns) {
+				return n, fmt.Errorf("relational: %s: VALUES arity %d != column list %d", s.Table, len(exprRow), len(s.Columns))
+			}
+			for i, e := range exprRow {
+				v, err := evalConst(e)
+				if err != nil {
+					return n, err
+				}
+				row[colIdx[i]] = v
+			}
+		}
+		if err := t.insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// evalConst evaluates an expression with no row context (literals and
+// arithmetic over them).
+func evalConst(e Expr) (engine.Value, error) {
+	ev, err := compileExpr(e, nil, nil)
+	if err != nil {
+		return engine.Null, err
+	}
+	return ev(nil)
+}
+
+func (db *DB) executeUpdate(s Update) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	rs := baseRowSchema(t.Name, t.Schema)
+	var where evaluator
+	if s.Where != nil {
+		where, err = compileExpr(s.Where, rs, nil)
+		if err != nil {
+			return 0, err
+		}
+	}
+	type setOp struct {
+		col  int
+		eval evaluator
+	}
+	var sets []setOp
+	for col, e := range s.Set {
+		ci := t.Schema.Index(col)
+		if ci < 0 {
+			return 0, fmt.Errorf("relational: %s: no column %q", s.Table, col)
+		}
+		ev, err := compileExpr(e, rs, nil)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, setOp{ci, ev})
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i].col < sets[j].col })
+	n := 0
+	// Collect matching slots first so SET expressions see pre-update values.
+	var slots []int
+	err = t.scan(func(slot int, row engine.Tuple) error {
+		db.stats.RowsScanned++
+		if where != nil {
+			v, err := where(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() || !v.AsBool() {
+				return nil
+			}
+		}
+		slots = append(slots, slot)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, slot := range slots {
+		row := t.rows[slot]
+		newRow := row.Clone()
+		for _, op := range sets {
+			v, err := op.eval(row)
+			if err != nil {
+				return n, err
+			}
+			newRow[op.col] = v
+		}
+		// Re-insert through delete+insert to keep indexes coherent.
+		t.deleteSlot(slot)
+		if err := t.insert(newRow); err != nil {
+			return n, err
+		}
+		n++
+	}
+	db.stats.Queries++
+	return n, nil
+}
+
+func (db *DB) executeDelete(s Delete) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	rs := baseRowSchema(t.Name, t.Schema)
+	var where evaluator
+	if s.Where != nil {
+		where, err = compileExpr(s.Where, rs, nil)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var slots []int
+	err = t.scan(func(slot int, row engine.Tuple) error {
+		db.stats.RowsScanned++
+		if where != nil {
+			v, err := where(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() || !v.AsBool() {
+				return nil
+			}
+		}
+		slots = append(slots, slot)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, slot := range slots {
+		t.deleteSlot(slot)
+	}
+	db.stats.Queries++
+	return len(slots), nil
+}
+
+// ExecuteSelect runs a parsed SELECT.
+func (db *DB) ExecuteSelect(s *Select) (*engine.Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.stats.Queries++
+
+	// 1. Build the working row set (FROM + JOINs), or a single empty row
+	// for table-less SELECTs.
+	var rows []engine.Tuple
+	var rs rowSchema
+	if s.From == nil {
+		rows = []engine.Tuple{{}}
+	} else {
+		base, err := db.table(s.From.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := s.From.Alias
+		if alias == "" {
+			alias = base.Name
+		}
+		rs = baseRowSchema(alias, base.Schema)
+		rows, err = db.scanBase(base, rs, s)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range s.Joins {
+			jt, err := db.table(j.Table.Name)
+			if err != nil {
+				return nil, err
+			}
+			jalias := j.Table.Alias
+			if jalias == "" {
+				jalias = jt.Name
+			}
+			rows, rs, err = db.executeJoin(rows, rs, jt, jalias, j)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 2. WHERE.
+	if s.Where != nil {
+		where, err := compileExpr(s.Where, rs, nil)
+		if err != nil {
+			return nil, err
+		}
+		kept := rows[:0]
+		for _, row := range rows {
+			v, err := where(row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() && v.AsBool() {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+
+	// 3. Grouped vs plain projection.
+	grouped := len(s.GroupBy) > 0
+	if !grouped {
+		for _, item := range s.Items {
+			if !item.Star && hasAggregate(item.Expr) {
+				grouped = true // implicit single group, e.g. SELECT COUNT(*) FROM t
+				break
+			}
+		}
+	}
+	if grouped && s.Having == nil && len(s.GroupBy) == 0 {
+		// fine: single-group aggregation
+	}
+	var out *engine.Relation
+	var err error
+	if grouped {
+		out, err = db.projectGrouped(s, rows, rs)
+	} else {
+		out, err = db.projectPlain(s, rows, rs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. DISTINCT.
+	if s.Distinct {
+		seen := map[string]bool{}
+		kept := out.Tuples[:0]
+		for _, t := range out.Tuples {
+			k := tupleKey(t[:len(out.Schema.Columns)])
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, t)
+			}
+		}
+		out.Tuples = kept
+	}
+
+	// 5. ORDER BY (hidden sort columns appended by projection).
+	nOut := len(out.Schema.Columns)
+	if len(s.OrderBy) > 0 {
+		descs := make([]bool, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			descs[i] = o.Desc
+		}
+		sort.SliceStable(out.Tuples, func(i, j int) bool {
+			a, b := out.Tuples[i], out.Tuples[j]
+			for k := range s.OrderBy {
+				cmp := engine.Compare(a[nOut+k], b[nOut+k])
+				if cmp != 0 {
+					if descs[k] {
+						return cmp > 0
+					}
+					return cmp < 0
+				}
+			}
+			return false
+		})
+	}
+	// Strip hidden sort columns.
+	if len(s.OrderBy) > 0 {
+		for i, t := range out.Tuples {
+			out.Tuples[i] = t[:nOut]
+		}
+	}
+
+	// 6. OFFSET/LIMIT.
+	if s.Offset > 0 {
+		if s.Offset >= len(out.Tuples) {
+			out.Tuples = nil
+		} else {
+			out.Tuples = out.Tuples[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(out.Tuples) {
+		out.Tuples = out.Tuples[:s.Limit]
+	}
+	return out, nil
+}
+
+// scanBase reads the base table, using an index when WHERE contains a
+// top-level equality between an indexed column and a literal.
+func (db *DB) scanBase(t *Table, rs rowSchema, s *Select) ([]engine.Tuple, error) {
+	if len(s.Joins) == 0 && s.Where != nil {
+		if ci, v, ok := indexableEquality(s.Where, rs, t); ok {
+			if slots, hit := t.lookup(ci, v); hit {
+				rows := make([]engine.Tuple, 0, len(slots))
+				for _, slot := range slots {
+					if !t.deleted[slot] {
+						rows = append(rows, t.rows[slot])
+					}
+				}
+				db.stats.RowsScanned += int64(len(rows))
+				return rows, nil
+			}
+		}
+	}
+	rows := make([]engine.Tuple, 0, t.live)
+	_ = t.scan(func(_ int, row engine.Tuple) error {
+		rows = append(rows, row)
+		return nil
+	})
+	db.stats.RowsScanned += int64(len(rows))
+	return rows, nil
+}
+
+// indexableEquality detects `col = literal` (or literal = col) at the
+// top level or on either side of an AND, where col has an index.
+func indexableEquality(e Expr, rs rowSchema, t *Table) (ci int, v engine.Value, ok bool) {
+	be, isBin := e.(BinaryExpr)
+	if !isBin {
+		return 0, engine.Null, false
+	}
+	if be.Op == "AND" {
+		if ci, v, ok = indexableEquality(be.Left, rs, t); ok {
+			return ci, v, true
+		}
+		return indexableEquality(be.Right, rs, t)
+	}
+	if be.Op != "=" {
+		return 0, engine.Null, false
+	}
+	col, lit := be.Left, be.Right
+	if _, isCol := col.(ColumnRef); !isCol {
+		col, lit = be.Right, be.Left
+	}
+	cr, isCol := col.(ColumnRef)
+	l, isLit := lit.(Literal)
+	if !isCol || !isLit {
+		return 0, engine.Null, false
+	}
+	idx, err := rs.resolve(cr.Table, cr.Name)
+	if err != nil {
+		return 0, engine.Null, false
+	}
+	// Working schema position == table column position for base scans.
+	if idx == t.PKCol {
+		return idx, l.Val, true
+	}
+	if _, hasIdx := t.secondary[idx]; hasIdx {
+		return idx, l.Val, true
+	}
+	return 0, engine.Null, false
+}
+
+// executeJoin joins the accumulated working rows with table jt.
+func (db *DB) executeJoin(left []engine.Tuple, leftRS rowSchema, jt *Table, jalias string, j Join) ([]engine.Tuple, rowSchema, error) {
+	rightRS := baseRowSchema(jalias, jt.Schema)
+	combined := append(append(rowSchema{}, leftRS...), rightRS...)
+
+	var rightRows []engine.Tuple
+	_ = jt.scan(func(_ int, row engine.Tuple) error {
+		rightRows = append(rightRows, row)
+		return nil
+	})
+	db.stats.RowsScanned += int64(len(rightRows))
+
+	if j.Kind == JoinCross {
+		out := make([]engine.Tuple, 0, len(left)*len(rightRows))
+		for _, l := range left {
+			for _, r := range rightRows {
+				out = append(out, concatTuples(l, r))
+			}
+		}
+		return out, combined, nil
+	}
+
+	// Hash join when ON is an equality between a left column and a right
+	// column; otherwise nested loop.
+	if lIdx, rIdx, ok := equiJoinCols(j.On, leftRS, rightRS); ok {
+		build := make(map[string][]engine.Tuple, len(rightRows))
+		for _, r := range rightRows {
+			k := valueKey(r[rIdx])
+			build[k] = append(build[k], r)
+		}
+		out := make([]engine.Tuple, 0, len(left))
+		nullRight := nullTuple(len(rightRS))
+		for _, l := range left {
+			matches := build[valueKey(l[lIdx])]
+			// NULL join keys never match.
+			if l[lIdx].IsNull() {
+				matches = nil
+			}
+			if len(matches) == 0 {
+				if j.Kind == JoinLeft {
+					out = append(out, concatTuples(l, nullRight))
+				}
+				continue
+			}
+			for _, r := range matches {
+				out = append(out, concatTuples(l, r))
+			}
+		}
+		return out, combined, nil
+	}
+
+	on, err := compileExpr(j.On, combined, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]engine.Tuple, 0, len(left))
+	nullRight := nullTuple(len(rightRS))
+	for _, l := range left {
+		matched := false
+		for _, r := range rightRows {
+			row := concatTuples(l, r)
+			v, err := on(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !v.IsNull() && v.AsBool() {
+				out = append(out, row)
+				matched = true
+			}
+		}
+		if !matched && j.Kind == JoinLeft {
+			out = append(out, concatTuples(l, nullRight))
+		}
+	}
+	return out, combined, nil
+}
+
+// equiJoinCols recognises ON a.x = b.y with one side in each schema.
+func equiJoinCols(on Expr, leftRS, rightRS rowSchema) (lIdx, rIdx int, ok bool) {
+	be, isBin := on.(BinaryExpr)
+	if !isBin || be.Op != "=" {
+		return 0, 0, false
+	}
+	lc, lok := be.Left.(ColumnRef)
+	rc, rok := be.Right.(ColumnRef)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	if li, err := leftRS.resolve(lc.Table, lc.Name); err == nil {
+		if ri, err := rightRS.resolve(rc.Table, rc.Name); err == nil {
+			return li, ri, true
+		}
+	}
+	if li, err := leftRS.resolve(rc.Table, rc.Name); err == nil {
+		if ri, err := rightRS.resolve(lc.Table, lc.Name); err == nil {
+			return li, ri, true
+		}
+	}
+	return 0, 0, false
+}
+
+func concatTuples(a, b engine.Tuple) engine.Tuple {
+	out := make(engine.Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func nullTuple(n int) engine.Tuple {
+	t := make(engine.Tuple, n)
+	for i := range t {
+		t[i] = engine.Null
+	}
+	return t
+}
+
+// expandItems resolves "*" items into explicit column refs and derives
+// output names.
+func expandItems(items []SelectItem, rs rowSchema) ([]Expr, []string, error) {
+	var exprs []Expr
+	var names []string
+	for _, item := range items {
+		if item.Star {
+			table := strings.ToLower(item.Table)
+			found := false
+			for _, c := range rs {
+				if table != "" && c.Table != table {
+					continue
+				}
+				exprs = append(exprs, ColumnRef{Table: c.Table, Name: c.Name})
+				names = append(names, c.Name)
+				found = true
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("relational: %s.* matches no columns", item.Table)
+			}
+			continue
+		}
+		exprs = append(exprs, item.Expr)
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(ColumnRef); ok {
+				name = cr.Name
+			} else {
+				name = exprKey(item.Expr)
+			}
+		}
+		names = append(names, name)
+	}
+	return exprs, names, nil
+}
+
+// projectPlain projects ungrouped rows. Hidden ORDER BY columns are
+// appended after the visible ones.
+func (db *DB) projectPlain(s *Select, rows []engine.Tuple, rs rowSchema) (*engine.Relation, error) {
+	exprs, names, err := expandItems(s.Items, rs)
+	if err != nil {
+		return nil, err
+	}
+	evals := make([]evaluator, len(exprs))
+	for i, e := range exprs {
+		evals[i], err = compileExpr(e, rs, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	orderEvals, err := compileOrderBy(s.OrderBy, rs, exprs, names, nil)
+	if err != nil {
+		return nil, err
+	}
+	schema := outputSchema(names, exprs, rs)
+	out := engine.NewRelation(schema)
+	out.Tuples = make([]engine.Tuple, 0, len(rows))
+	width := len(evals) + len(orderEvals)
+	for _, row := range rows {
+		t := make(engine.Tuple, 0, width)
+		for _, ev := range evals {
+			v, err := ev(row)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		for _, ev := range orderEvals {
+			v, err := ev(t, row)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}
+
+// orderEval evaluates an ORDER BY expression given the already-projected
+// visible values (for alias references) and the source row.
+type orderEval func(projected engine.Tuple, row engine.Tuple) (engine.Value, error)
+
+func compileOrderBy(items []OrderItem, rs rowSchema, outExprs []Expr, outNames []string,
+	aggLookup func(string, engine.Tuple) (engine.Value, bool)) ([]orderEval, error) {
+	evals := make([]orderEval, 0, len(items))
+	for _, o := range items {
+		// Positional: ORDER BY 2.
+		if lit, ok := o.Expr.(Literal); ok && lit.Val.Kind == engine.TypeInt {
+			pos := int(lit.Val.I) - 1
+			if pos < 0 || pos >= len(outExprs) {
+				return nil, fmt.Errorf("relational: ORDER BY position %d out of range", pos+1)
+			}
+			evals = append(evals, func(projected, _ engine.Tuple) (engine.Value, error) {
+				return projected[pos], nil
+			})
+			continue
+		}
+		// Alias reference: ORDER BY aliasName.
+		if cr, ok := o.Expr.(ColumnRef); ok && cr.Table == "" {
+			matched := -1
+			for i, n := range outNames {
+				if strings.EqualFold(n, cr.Name) {
+					matched = i
+					break
+				}
+			}
+			// Prefer alias match when the name is not a source column, or
+			// when it exactly names an output column.
+			if matched >= 0 {
+				if _, err := rs.resolve("", cr.Name); err != nil {
+					pos := matched
+					evals = append(evals, func(projected, _ engine.Tuple) (engine.Value, error) {
+						return projected[pos], nil
+					})
+					continue
+				}
+				// Name exists both as alias and source column; alias wins
+				// only if it aliases that same column.
+				if crOut, ok := outExprs[matched].(ColumnRef); ok && strings.EqualFold(crOut.Name, cr.Name) {
+					pos := matched
+					evals = append(evals, func(projected, _ engine.Tuple) (engine.Value, error) {
+						return projected[pos], nil
+					})
+					continue
+				}
+			}
+		}
+		ev, err := compileExpr(o.Expr, rs, aggLookup)
+		if err != nil {
+			return nil, err
+		}
+		evals = append(evals, func(_, row engine.Tuple) (engine.Value, error) { return ev(row) })
+	}
+	return evals, nil
+}
+
+// outputSchema infers output column types from expressions where
+// possible, defaulting to FLOAT for computed values.
+func outputSchema(names []string, exprs []Expr, rs rowSchema) engine.Schema {
+	cols := make([]engine.Column, len(names))
+	for i := range names {
+		cols[i] = engine.Col(names[i], inferExprType(exprs[i], rs))
+	}
+	return engine.Schema{Columns: cols}
+}
+
+func inferExprType(e Expr, rs rowSchema) engine.Type {
+	switch ex := e.(type) {
+	case Literal:
+		return ex.Val.Kind
+	case ColumnRef:
+		if idx, err := rs.resolve(ex.Table, ex.Name); err == nil {
+			return rs[idx].Type
+		}
+	case FuncCall:
+		switch ex.Name {
+		case "COUNT", "LENGTH":
+			return engine.TypeInt
+		case "LOWER", "UPPER", "SUBSTR", "SUBSTRING", "CONCAT":
+			return engine.TypeString
+		case "MIN", "MAX", "SUM":
+			if len(ex.Args) == 1 {
+				return inferExprType(ex.Args[0], rs)
+			}
+		}
+		return engine.TypeFloat
+	case BinaryExpr:
+		switch ex.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE":
+			return engine.TypeBool
+		case "||":
+			return engine.TypeString
+		default:
+			lt := inferExprType(ex.Left, rs)
+			rt := inferExprType(ex.Right, rs)
+			if lt == engine.TypeInt && rt == engine.TypeInt && ex.Op != "/" {
+				return engine.TypeInt
+			}
+			return engine.TypeFloat
+		}
+	case UnaryExpr:
+		if ex.Op == "NOT" {
+			return engine.TypeBool
+		}
+		return inferExprType(ex.Expr, rs)
+	case InExpr, IsNullExpr, BetweenExpr:
+		return engine.TypeBool
+	}
+	return engine.TypeFloat
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	fn       string
+	count    int64
+	sum      float64
+	sumSq    float64
+	min, max engine.Value
+	distinct map[string]bool
+	hasVal   bool
+}
+
+func newAggState(fc FuncCall) *aggState {
+	st := &aggState{fn: fc.Name}
+	if fc.Distinct {
+		st.distinct = map[string]bool{}
+	}
+	return st
+}
+
+func (st *aggState) add(v engine.Value) {
+	if v.IsNull() {
+		return
+	}
+	if st.distinct != nil {
+		k := valueKey(v)
+		if st.distinct[k] {
+			return
+		}
+		st.distinct[k] = true
+	}
+	st.count++
+	f := v.AsFloat()
+	st.sum += f
+	st.sumSq += f * f
+	if !st.hasVal {
+		st.min, st.max = v, v
+		st.hasVal = true
+	} else {
+		if engine.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+		if engine.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	}
+}
+
+func (st *aggState) result() engine.Value {
+	switch st.fn {
+	case "COUNT":
+		return engine.NewInt(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return engine.Null
+		}
+		if st.sum == math.Trunc(st.sum) && st.min.Kind == engine.TypeInt && st.max.Kind == engine.TypeInt {
+			return engine.NewInt(int64(st.sum))
+		}
+		return engine.NewFloat(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return engine.Null
+		}
+		return engine.NewFloat(st.sum / float64(st.count))
+	case "MIN":
+		if !st.hasVal {
+			return engine.Null
+		}
+		return st.min
+	case "MAX":
+		if !st.hasVal {
+			return engine.Null
+		}
+		return st.max
+	case "STDDEV":
+		if st.count < 2 {
+			return engine.Null
+		}
+		n := float64(st.count)
+		variance := (st.sumSq - st.sum*st.sum/n) / (n - 1)
+		if variance < 0 {
+			variance = 0
+		}
+		return engine.NewFloat(math.Sqrt(variance))
+	default:
+		return engine.Null
+	}
+}
+
+// projectGrouped handles GROUP BY / aggregate projection.
+func (db *DB) projectGrouped(s *Select, rows []engine.Tuple, rs rowSchema) (*engine.Relation, error) {
+	exprs, names, err := expandItems(s.Items, rs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect every aggregate appearing anywhere in the query.
+	all := make([]Expr, 0, len(exprs)+2)
+	all = append(all, exprs...)
+	if s.Having != nil {
+		all = append(all, s.Having)
+	}
+	for _, o := range s.OrderBy {
+		all = append(all, o.Expr)
+	}
+	aggCalls := collectAggregates(all)
+	aggKeys := make([]string, len(aggCalls))
+	aggArgEvals := make([]evaluator, len(aggCalls))
+	for i, fc := range aggCalls {
+		aggKeys[i] = exprKey(fc)
+		if fc.Star {
+			aggArgEvals[i] = nil // COUNT(*)
+		} else {
+			if len(fc.Args) != 1 {
+				return nil, fmt.Errorf("relational: %s expects 1 argument", fc.Name)
+			}
+			ev, err := compileExpr(fc.Args[0], rs, nil)
+			if err != nil {
+				return nil, err
+			}
+			aggArgEvals[i] = ev
+		}
+	}
+
+	groupEvals := make([]evaluator, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		// GROUP BY may reference an output alias.
+		resolved := g
+		if cr, ok := g.(ColumnRef); ok && cr.Table == "" {
+			if _, err := rs.resolve("", cr.Name); err != nil {
+				for j, n := range names {
+					if strings.EqualFold(n, cr.Name) {
+						resolved = exprs[j]
+						break
+					}
+				}
+			}
+		}
+		ev, err := compileExpr(resolved, rs, nil)
+		if err != nil {
+			return nil, err
+		}
+		groupEvals[i] = ev
+	}
+
+	type group struct {
+		firstRow engine.Tuple
+		aggs     []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rows {
+		var kb strings.Builder
+		for _, ge := range groupEvals {
+			v, err := ge(row)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(valueKey(v))
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{firstRow: row, aggs: make([]*aggState, len(aggCalls))}
+			for i, fc := range aggCalls {
+				g.aggs[i] = newAggState(fc)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, st := range g.aggs {
+			if aggArgEvals[i] == nil {
+				st.count++ // COUNT(*)
+				continue
+			}
+			v, err := aggArgEvals[i](row)
+			if err != nil {
+				return nil, err
+			}
+			st.add(v)
+		}
+	}
+	// Aggregate-only query over zero rows still yields one group.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		g := &group{firstRow: nullTuple(len(rs)), aggs: make([]*aggState, len(aggCalls))}
+		for i, fc := range aggCalls {
+			g.aggs[i] = newAggState(fc)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	// Compile output expressions with aggregate lookup. The lookup closes
+	// over a per-row map swapped in while iterating groups.
+	var currentAggs map[string]engine.Value
+	aggLookup := func(key string, _ engine.Tuple) (engine.Value, bool) {
+		v, ok := currentAggs[key]
+		return v, ok
+	}
+	evals := make([]evaluator, len(exprs))
+	for i, e := range exprs {
+		evals[i], err = compileExpr(e, rs, aggLookup)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var having evaluator
+	if s.Having != nil {
+		having, err = compileExpr(s.Having, rs, aggLookup)
+		if err != nil {
+			return nil, err
+		}
+	}
+	orderEvals, err := compileOrderBy(s.OrderBy, rs, exprs, names, aggLookup)
+	if err != nil {
+		return nil, err
+	}
+
+	schema := outputSchema(names, exprs, rs)
+	// Aggregates get better type inference from their state.
+	for i, e := range exprs {
+		if fc, ok := e.(FuncCall); ok && aggregateNames[fc.Name] {
+			switch fc.Name {
+			case "COUNT":
+				schema.Columns[i].Type = engine.TypeInt
+			case "AVG", "STDDEV":
+				schema.Columns[i].Type = engine.TypeFloat
+			}
+		}
+	}
+	out := engine.NewRelation(schema)
+	for _, k := range order {
+		g := groups[k]
+		currentAggs = make(map[string]engine.Value, len(aggKeys))
+		for i, key := range aggKeys {
+			currentAggs[key] = g.aggs[i].result()
+		}
+		if having != nil {
+			v, err := having(g.firstRow)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+		}
+		t := make(engine.Tuple, 0, len(evals)+len(orderEvals))
+		for _, ev := range evals {
+			v, err := ev(g.firstRow)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		for _, ev := range orderEvals {
+			v, err := ev(t, g.firstRow)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, nil
+}

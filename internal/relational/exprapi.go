@@ -1,0 +1,53 @@
+package relational
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// RowExpr is a compiled scalar expression over flat rows. Other engines
+// (array cells, stream records, Tupleware UDF pipelines) reuse the SQL
+// expression grammar through this API so users write one predicate
+// language across islands.
+type RowExpr func(row engine.Tuple) (engine.Value, error)
+
+// ParseExpression parses a scalar SQL expression (no statement keywords).
+func ParseExpression(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("relational: trailing input in expression at %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// CompileExpression compiles a parsed expression against an unqualified
+// column list. Aggregates are rejected.
+func CompileExpression(e Expr, cols []engine.Column) (RowExpr, error) {
+	if hasAggregate(e) {
+		return nil, fmt.Errorf("relational: aggregates not allowed in row expressions")
+	}
+	rs := baseRowSchema("", engine.Schema{Columns: cols})
+	ev, err := compileExpr(e, rs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return RowExpr(ev), nil
+}
+
+// CompileRowExpr parses and compiles src in one step.
+func CompileRowExpr(src string, cols []engine.Column) (RowExpr, error) {
+	e, err := ParseExpression(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileExpression(e, cols)
+}

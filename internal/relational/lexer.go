@@ -1,0 +1,137 @@
+// Package relational implements BigDAWG's Postgres substitute: an
+// in-memory relational engine with a SQL subset (CREATE TABLE, INSERT,
+// UPDATE, DELETE, SELECT with joins, grouping, ordering and secondary
+// indexes). It backs the relational island and the Postgres degenerate
+// island of the polystore.
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * . ; = < > <= >= <> != + - / %
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep original case
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "ON": true, "DELETE": true, "UPDATE": true,
+	"SET": true, "JOIN": true, "INNER": true, "LEFT": true, "OUTER": true,
+	"CROSS": true, "NULL": true, "TRUE": true, "FALSE": true, "LIKE": true,
+	"IN": true, "IS": true, "BETWEEN": true, "DISTINCT": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "STDDEV": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises a SQL string.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("relational: unterminated string at %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == quote {
+				// Doubled quote is an escaped quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					sb.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: sb.String(), pos: start}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+			l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
+				(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	default:
+		// Two-char operators first.
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			switch two {
+			case "<=", ">=", "<>", "!=", "||":
+				l.pos += 2
+				return token{kind: tokSymbol, text: two, pos: start}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', '*', '.', ';', '=', '<', '>', '+', '-', '/', '%':
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("relational: unexpected character %q at %d", c, start)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }

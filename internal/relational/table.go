@@ -1,0 +1,329 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Table is one base table: schema, row storage, and indexes. A primary
+// key gets a unique hash index; CREATE INDEX adds non-unique secondary
+// hash indexes. Indexes map value keys to row slots.
+type Table struct {
+	Name    string
+	Schema  engine.Schema
+	PKCol   int // -1 if no primary key
+	rows    []engine.Tuple
+	deleted []bool // tombstones; compacted lazily
+	live    int
+
+	pkIndex   map[string]int // value key -> slot
+	secondary map[int]*index // column idx -> index
+}
+
+type index struct {
+	col   int
+	slots map[string][]int
+}
+
+func newTable(name string, schema engine.Schema, pkCol int) *Table {
+	t := &Table{
+		Name:      name,
+		Schema:    schema,
+		PKCol:     pkCol,
+		secondary: map[int]*index{},
+	}
+	if pkCol >= 0 {
+		t.pkIndex = map[string]int{}
+	}
+	return t
+}
+
+// valueKey renders a value for index/group hashing. Kind is included so
+// 1 and "1" hash differently, but INT/FLOAT with equal numeric value
+// collide intentionally (Compare treats them equal).
+func valueKey(v engine.Value) string {
+	switch v.Kind {
+	case engine.TypeNull:
+		return "\x00"
+	case engine.TypeInt, engine.TypeFloat, engine.TypeBool:
+		return "n" + v.String()
+	default:
+		return "s" + v.S
+	}
+}
+
+func tupleKey(t engine.Tuple) string {
+	var sb strings.Builder
+	for _, v := range t {
+		sb.WriteString(valueKey(v))
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
+
+// insert adds a row, maintaining indexes.
+func (t *Table) insert(row engine.Tuple) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("relational: %s: arity %d != %d", t.Name, len(row), len(t.Schema.Columns))
+	}
+	// Light type check with numeric coercion.
+	for i, v := range row {
+		want := t.Schema.Columns[i].Type
+		if v.IsNull() || v.Kind == want {
+			continue
+		}
+		switch {
+		case want == engine.TypeFloat && v.Kind == engine.TypeInt:
+			row[i] = engine.NewFloat(float64(v.I))
+		case want == engine.TypeInt && v.Kind == engine.TypeFloat && v.F == float64(int64(v.F)):
+			row[i] = engine.NewInt(int64(v.F))
+		case want == engine.TypeString:
+			row[i] = engine.NewString(v.String())
+		default:
+			return fmt.Errorf("relational: %s.%s: cannot store %v as %v",
+				t.Name, t.Schema.Columns[i].Name, v.Kind, want)
+		}
+	}
+	if t.PKCol >= 0 {
+		k := valueKey(row[t.PKCol])
+		if _, dup := t.pkIndex[k]; dup {
+			return fmt.Errorf("relational: %s: duplicate primary key %v", t.Name, row[t.PKCol])
+		}
+		t.pkIndex[k] = len(t.rows)
+	}
+	slot := len(t.rows)
+	t.rows = append(t.rows, row)
+	t.deleted = append(t.deleted, false)
+	t.live++
+	for _, idx := range t.secondary {
+		k := valueKey(row[idx.col])
+		idx.slots[k] = append(idx.slots[k], slot)
+	}
+	return nil
+}
+
+// deleteSlot tombstones a row and removes it from indexes.
+func (t *Table) deleteSlot(slot int) {
+	if t.deleted[slot] {
+		return
+	}
+	t.deleted[slot] = true
+	t.live--
+	if t.PKCol >= 0 {
+		delete(t.pkIndex, valueKey(t.rows[slot][t.PKCol]))
+	}
+	for _, idx := range t.secondary {
+		k := valueKey(t.rows[slot][idx.col])
+		list := idx.slots[k]
+		for i, s := range list {
+			if s == slot {
+				idx.slots[k] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(idx.slots[k]) == 0 {
+			delete(idx.slots, k)
+		}
+	}
+}
+
+// addIndex builds a secondary index on the named column.
+func (t *Table) addIndex(col string) error {
+	ci := t.Schema.Index(col)
+	if ci < 0 {
+		return fmt.Errorf("relational: %s: no column %q", t.Name, col)
+	}
+	if _, ok := t.secondary[ci]; ok {
+		return nil // idempotent
+	}
+	idx := &index{col: ci, slots: map[string][]int{}}
+	for slot, row := range t.rows {
+		if t.deleted[slot] {
+			continue
+		}
+		k := valueKey(row[ci])
+		idx.slots[k] = append(idx.slots[k], slot)
+	}
+	t.secondary[ci] = idx
+	return nil
+}
+
+// lookup returns the live row slots whose column ci equals v, using an
+// index if one exists; ok is false if no index covers ci.
+func (t *Table) lookup(ci int, v engine.Value) (slots []int, ok bool) {
+	if t.PKCol == ci && t.pkIndex != nil {
+		if s, hit := t.pkIndex[valueKey(v)]; hit {
+			return []int{s}, true
+		}
+		return nil, true
+	}
+	if idx, hit := t.secondary[ci]; hit {
+		return idx.slots[valueKey(v)], true
+	}
+	return nil, false
+}
+
+// scan calls fn for every live row.
+func (t *Table) scan(fn func(slot int, row engine.Tuple) error) error {
+	for slot, row := range t.rows {
+		if t.deleted[slot] {
+			continue
+		}
+		if err := fn(slot, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of live rows.
+func (t *Table) Len() int { return t.live }
+
+// DB is the relational engine: a set of tables behind a RW lock. It is
+// safe for concurrent use; writers serialise, readers share.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	// Stats feed the cross-system monitor (§2.1 of the paper).
+	stats EngineStats
+}
+
+// EngineStats counts work done by the engine, for the monitoring system.
+type EngineStats struct {
+	Queries     int64
+	RowsScanned int64
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (db *DB) Stats() EngineStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// CreateTable registers a new table programmatically.
+func (db *DB) CreateTable(name string, schema engine.Schema, primaryKey string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createTableLocked(name, schema, primaryKey)
+}
+
+func (db *DB) createTableLocked(name string, schema engine.Schema, primaryKey string) error {
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return fmt.Errorf("relational: table %q already exists", name)
+	}
+	pk := -1
+	if primaryKey != "" {
+		pk = schema.Index(primaryKey)
+		if pk < 0 {
+			return fmt.Errorf("relational: primary key %q not in schema", primaryKey)
+		}
+	}
+	db.tables[key] = newTable(name, schema, pk)
+	return nil
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("relational: no table %q", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// table fetches a table by name (case-insensitive).
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("relational: no table %q", name)
+	}
+	return t, nil
+}
+
+// Tables lists table names.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// TableSchema returns the schema of the named table.
+func (db *DB) TableSchema(name string) (engine.Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(name)
+	if err != nil {
+		return engine.Schema{}, err
+	}
+	return t.Schema, nil
+}
+
+// TableLen returns the live row count of the named table.
+func (db *DB) TableLen(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(name)
+	if err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
+}
+
+// InsertRelation bulk-loads a relation into the named table, creating it
+// (without a primary key) if absent. This is the CAST ingest path.
+func (db *DB) InsertRelation(name string, rel *engine.Relation) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	t, ok := db.tables[key]
+	if !ok {
+		if err := db.createTableLocked(name, rel.Schema, ""); err != nil {
+			return err
+		}
+		t = db.tables[key]
+	}
+	if len(rel.Schema.Columns) != len(t.Schema.Columns) {
+		return fmt.Errorf("relational: %s: incoming arity %d != %d", name, len(rel.Schema.Columns), len(t.Schema.Columns))
+	}
+	for _, row := range rel.Tuples {
+		if err := t.insert(row.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump exports the named table as a relation (CAST egress path).
+func (db *DB) Dump(name string) (*engine.Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(name)
+	if err != nil {
+		return nil, err
+	}
+	rel := engine.NewRelation(t.Schema)
+	rel.Tuples = make([]engine.Tuple, 0, t.live)
+	_ = t.scan(func(_ int, row engine.Tuple) error {
+		rel.Tuples = append(rel.Tuples, row.Clone())
+		return nil
+	})
+	return rel, nil
+}

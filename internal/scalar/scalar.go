@@ -1,0 +1,227 @@
+// Package scalar implements BigDAWG's browsing interface substrate
+// (§1 "Browsing" and §1.2 of the paper): ScalaR, a pan/zoom
+// detail-on-demand browser. Because "small vis" — loading the dataset
+// into memory — cannot survive in a Big Data stack, ScalaR serves
+// fixed-size aggregate tiles computed by the array engine at multiple
+// resolution levels and *prefetches data in anticipation of user
+// movements*.
+package scalar
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/array"
+	"repro/internal/engine"
+)
+
+// Tile is one rendered region: aggregate values for a w×h block grid.
+type Tile struct {
+	Level int // 0 = coarsest
+	X, Y  int // tile coordinates at that level
+	// Cells holds the aggregated value per block, row-major, NaN for
+	// empty regions.
+	Cells  []float64
+	Width  int
+	Height int
+}
+
+// Stats measures browsing responsiveness: cache behaviour is the whole
+// game for interactive latency.
+type Stats struct {
+	Requests   int64
+	CacheHits  int64
+	CacheMiss  int64
+	Prefetches int64
+}
+
+// Browser serves tiles over a 2-D array with detail on demand.
+type Browser struct {
+	mu    sync.Mutex
+	src   *array.Array
+	attr  string
+	tileW int64
+	tileH int64
+	// levels counts zoom levels; level L divides the domain into
+	// 2^L × 2^L tiles.
+	levels int
+
+	cache    map[string]*Tile
+	capacity int
+	order    []string // FIFO eviction order
+
+	// Prefetch enables neighbour prefetching on every fetch.
+	Prefetch bool
+	// SyncPrefetch runs prefetches inline instead of in the background;
+	// useful for deterministic tests. Production behaviour is async so
+	// prefetch work stays off the interaction path.
+	SyncPrefetch bool
+
+	wg    sync.WaitGroup
+	stats Stats
+}
+
+// NewBrowser builds a browser over a 2-D array attribute. tileCells is
+// the per-tile grid resolution (e.g. 32 → 32×32 aggregate cells per
+// tile); levels is the zoom depth; cacheTiles bounds the tile cache.
+func NewBrowser(src *array.Array, attr string, tileCells, levels, cacheTiles int) (*Browser, error) {
+	if len(src.Dims) != 2 {
+		return nil, fmt.Errorf("scalar: browser needs a 2-D array")
+	}
+	if tileCells <= 0 || levels <= 0 || cacheTiles <= 0 {
+		return nil, fmt.Errorf("scalar: tileCells, levels and cacheTiles must be positive")
+	}
+	return &Browser{
+		src: src, attr: attr,
+		tileW: int64(tileCells), tileH: int64(tileCells),
+		levels: levels, cache: map[string]*Tile{}, capacity: cacheTiles,
+	}, nil
+}
+
+// Stats returns a snapshot of browsing counters.
+func (b *Browser) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// tilesPerAxis returns how many tiles tile the domain at a level.
+func tilesPerAxis(level int) int { return 1 << level }
+
+// Fetch returns the tile at (level, x, y), computing it through the
+// array engine's regrid on a miss and prefetching the 4-neighbourhood
+// when enabled.
+func (b *Browser) Fetch(level, x, y int) (*Tile, error) {
+	b.mu.Lock()
+	b.stats.Requests++
+	b.mu.Unlock()
+	t, err := b.fetchOne(level, x, y, false)
+	if err != nil {
+		return nil, err
+	}
+	if b.Prefetch {
+		// Anticipate pans to the four neighbours and a zoom-in to the
+		// four child tiles.
+		neighbours := [][3]int{
+			{level, x - 1, y}, {level, x + 1, y}, {level, x, y - 1}, {level, x, y + 1},
+		}
+		if level+1 < b.levels {
+			neighbours = append(neighbours,
+				[3]int{level + 1, 2 * x, 2 * y}, [3]int{level + 1, 2*x + 1, 2 * y},
+				[3]int{level + 1, 2 * x, 2*y + 1}, [3]int{level + 1, 2*x + 1, 2*y + 1})
+		}
+		for _, nb := range neighbours {
+			if nb[1] < 0 || nb[2] < 0 || nb[1] >= tilesPerAxis(nb[0]) || nb[2] >= tilesPerAxis(nb[0]) {
+				continue
+			}
+			if b.SyncPrefetch {
+				if _, err := b.fetchOne(nb[0], nb[1], nb[2], true); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			b.wg.Add(1)
+			go func(level, x, y int) {
+				defer b.wg.Done()
+				_, _ = b.fetchOne(level, x, y, true)
+			}(nb[0], nb[1], nb[2])
+		}
+	}
+	return t, nil
+}
+
+// Quiesce blocks until outstanding background prefetches finish —
+// conceptually the user's think time between gestures.
+func (b *Browser) Quiesce() { b.wg.Wait() }
+
+func tileKey(level, x, y int) string { return fmt.Sprintf("%d/%d/%d", level, x, y) }
+
+func (b *Browser) fetchOne(level, x, y int, prefetch bool) (*Tile, error) {
+	if level < 0 || level >= b.levels {
+		return nil, fmt.Errorf("scalar: level %d out of range [0,%d)", level, b.levels)
+	}
+	per := tilesPerAxis(level)
+	if x < 0 || y < 0 || x >= per || y >= per {
+		return nil, fmt.Errorf("scalar: tile (%d,%d) out of range at level %d", x, y, level)
+	}
+	key := tileKey(level, x, y)
+	b.mu.Lock()
+	if t, ok := b.cache[key]; ok {
+		if !prefetch {
+			b.stats.CacheHits++
+		}
+		b.mu.Unlock()
+		return t, nil
+	}
+	if !prefetch {
+		b.stats.CacheMiss++
+	} else {
+		b.stats.Prefetches++
+	}
+	b.mu.Unlock()
+
+	t, err := b.computeTile(level, x, y)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if _, dup := b.cache[key]; !dup {
+		b.cache[key] = t
+		b.order = append(b.order, key)
+		for len(b.order) > b.capacity {
+			evict := b.order[0]
+			b.order = b.order[1:]
+			delete(b.cache, evict)
+		}
+	}
+	b.mu.Unlock()
+	return t, nil
+}
+
+// computeTile runs the detail-on-demand aggregation: subarray the
+// tile's domain region, then regrid it to the tile cell resolution.
+func (b *Browser) computeTile(level, x, y int) (*Tile, error) {
+	d0, d1 := b.src.Dims[0], b.src.Dims[1]
+	per := int64(tilesPerAxis(level))
+	spanX := (d0.Len() + per - 1) / per
+	spanY := (d1.Len() + per - 1) / per
+	lo := []int64{d0.Low + int64(x)*spanX, d1.Low + int64(y)*spanY}
+	hi := []int64{lo[0] + spanX - 1, lo[1] + spanY - 1}
+	if hi[0] > d0.High {
+		hi[0] = d0.High
+	}
+	if hi[1] > d1.High {
+		hi[1] = d1.High
+	}
+	sub, err := b.src.Subarray(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	blockX := (sub.Dims[0].Len() + b.tileW - 1) / b.tileW
+	blockY := (sub.Dims[1].Len() + b.tileH - 1) / b.tileH
+	if blockX < 1 {
+		blockX = 1
+	}
+	if blockY < 1 {
+		blockY = 1
+	}
+	grid, err := sub.Regrid([]int64{blockX, blockY}, array.AggAvg, b.attr)
+	if err != nil {
+		return nil, err
+	}
+	w := int(grid.Dims[0].Len())
+	h := int(grid.Dims[1].Len())
+	t := &Tile{Level: level, X: x, Y: y, Width: w, Height: h, Cells: make([]float64, w*h)}
+	for i := range t.Cells {
+		t.Cells[i] = math.NaN()
+	}
+	err = grid.Iterate(func(coords []int64, vals engine.Tuple) error {
+		t.Cells[int(coords[0])*h+int(coords[1])] = vals[0].AsFloat()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,180 @@
+package scalar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/engine"
+)
+
+// heatmap builds a 2-D dense array with value x+y.
+func heatmap(t *testing.T, n int64) *array.Array {
+	t.Helper()
+	a, err := array.New("map", []array.Dim{
+		{Name: "x", Low: 0, High: n - 1}, {Name: "y", Low: 0, High: n - 1},
+	}, []engine.Column{engine.Col("v", engine.TypeFloat)}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Fill(func(c []int64) engine.Tuple {
+		return engine.Tuple{engine.NewFloat(float64(c[0] + c[1]))}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewBrowserValidation(t *testing.T) {
+	a := heatmap(t, 8)
+	if _, err := NewBrowser(a, "v", 0, 2, 4); err == nil {
+		t.Error("zero tileCells should fail")
+	}
+	one, _ := array.New("one", []array.Dim{{Name: "i", Low: 0, High: 3}},
+		[]engine.Column{engine.Col("v", engine.TypeFloat)}, true)
+	if _, err := NewBrowser(one, "v", 8, 2, 4); err == nil {
+		t.Error("1-D array should fail")
+	}
+}
+
+func TestFetchTileValues(t *testing.T) {
+	a := heatmap(t, 64)
+	b, err := NewBrowser(a, "v", 8, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Level 0 = whole domain as one tile of 8×8 aggregate cells.
+	tile, err := b.Fetch(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile.Width != 8 || tile.Height != 8 {
+		t.Fatalf("tile shape %dx%d", tile.Width, tile.Height)
+	}
+	// Cell (0,0) aggregates block x∈[0,8),y∈[0,8): avg = 3.5+3.5 = 7.
+	if math.Abs(tile.Cells[0]-7) > 1e-9 {
+		t.Errorf("tile cell (0,0) = %v, want 7", tile.Cells[0])
+	}
+	// Zoom level 1, tile (1,1) covers x,y ∈ [32,64).
+	tile, err = b.Fetch(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Its first cell aggregates x∈[32,36),y∈[32,36): avg = 33.5+33.5 = 67.
+	if math.Abs(tile.Cells[0]-67) > 1e-9 {
+		t.Errorf("zoomed cell = %v, want 67", tile.Cells[0])
+	}
+}
+
+func TestFetchOutOfRange(t *testing.T) {
+	a := heatmap(t, 16)
+	b, _ := NewBrowser(a, "v", 4, 2, 8)
+	if _, err := b.Fetch(5, 0, 0); err == nil {
+		t.Error("bad level should fail")
+	}
+	if _, err := b.Fetch(1, 2, 0); err == nil {
+		t.Error("tile beyond grid should fail")
+	}
+	if _, err := b.Fetch(0, -1, 0); err == nil {
+		t.Error("negative tile should fail")
+	}
+}
+
+func TestCacheHitsOnRevisit(t *testing.T) {
+	a := heatmap(t, 32)
+	b, _ := NewBrowser(a, "v", 4, 3, 64)
+	if _, err := b.Fetch(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fetch(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.CacheHits != 1 || st.CacheMiss != 1 {
+		t.Errorf("cache stats: %+v", st)
+	}
+}
+
+func TestPrefetchTurnsPansIntoHits(t *testing.T) {
+	a := heatmap(t, 64)
+
+	// Without prefetch: a left-to-right pan at level 2 misses every tile.
+	cold, _ := NewBrowser(a, "v", 4, 3, 64)
+	for x := 0; x < 4; x++ {
+		if _, err := cold.Fetch(2, x, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coldStats := cold.Stats()
+	if coldStats.CacheHits != 0 {
+		t.Fatalf("cold browser should miss: %+v", coldStats)
+	}
+
+	// With prefetch: after the first fetch, neighbours are warm.
+	warm, _ := NewBrowser(a, "v", 4, 3, 64)
+	warm.Prefetch = true
+	warm.SyncPrefetch = true
+	for x := 0; x < 4; x++ {
+		if _, err := warm.Fetch(2, x, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmStats := warm.Stats()
+	if warmStats.CacheHits < 3 {
+		t.Errorf("prefetch should serve pans from cache: %+v", warmStats)
+	}
+	if warmStats.Prefetches == 0 {
+		t.Error("no prefetches recorded")
+	}
+}
+
+func TestPrefetchWarmsZoomIn(t *testing.T) {
+	a := heatmap(t, 64)
+	b, _ := NewBrowser(a, "v", 4, 3, 64)
+	b.Prefetch = true
+	b.SyncPrefetch = true
+	if _, err := b.Fetch(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Zooming into a child tile should hit the cache.
+	before := b.Stats().CacheHits
+	if _, err := b.Fetch(2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().CacheHits != before+1 {
+		t.Errorf("zoom-in should be prefetched: %+v", b.Stats())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	a := heatmap(t, 64)
+	b, _ := NewBrowser(a, "v", 4, 3, 2) // tiny cache
+	_, _ = b.Fetch(2, 0, 0)
+	_, _ = b.Fetch(2, 1, 0)
+	_, _ = b.Fetch(2, 2, 0) // evicts (2,0,0)
+	_, _ = b.Fetch(2, 0, 0) // miss again
+	st := b.Stats()
+	if st.CacheMiss != 4 {
+		t.Errorf("expected 4 misses with capacity 2: %+v", st)
+	}
+}
+
+func TestTileGridCoverage(t *testing.T) {
+	// All tiles at a level together cover the domain with plausible
+	// averages (no NaNs for a fully dense array).
+	a := heatmap(t, 32)
+	b, _ := NewBrowser(a, "v", 4, 2, 64)
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			tile, err := b.Fetch(1, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range tile.Cells {
+				if math.IsNaN(v) {
+					t.Fatalf("tile (%d,%d) cell %d is NaN", x, y, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package searchlight implements BigDAWG's second data-exploration
+// system (§2.2 of the paper): Searchlight integrates constraint-
+// programming search with DBMS-scale data by first *speculating* over
+// compact in-memory synopsis structures and then *validating* the
+// candidate results on the actual data.
+//
+// The query shape is the canonical Searchlight task: find all windows
+// of a given length in a signal whose aggregates satisfy interval
+// constraints (e.g. "intervals of ~1s where the average amplitude is
+// in [0.4, 0.6] and the maximum never exceeds 0.9"). The synopsis is a
+// hierarchy-free block grid storing (min, max, sum, count) per block;
+// block bounds prove most windows infeasible (or trivially feasible)
+// without touching the raw signal.
+package searchlight
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constraint restricts one window aggregate to [Lo, Hi].
+type Constraint struct {
+	Agg    string // "avg", "min", "max", "sum"
+	Lo, Hi float64
+}
+
+// Query is a window-search task.
+type Query struct {
+	WindowLen   int
+	Constraints []Constraint
+}
+
+// Match is one satisfying window [Start, Start+WindowLen).
+type Match struct {
+	Start int
+	Avg   float64
+	Min   float64
+	Max   float64
+	Sum   float64
+}
+
+// Stats separates synopsis work from validation work — the ratio is
+// Searchlight's whole point.
+type Stats struct {
+	WindowsTotal     int
+	PrunedInfeasible int   // rejected by synopsis bounds alone
+	AcceptedByBounds int   // accepted by synopsis bounds alone
+	Validated        int   // required touching raw data
+	RawPointsRead    int64 // data points read during validation
+}
+
+// Synopsis is the in-memory speculation structure.
+type Synopsis struct {
+	blockSize int
+	n         int
+	min, max  []float64
+	sum       []float64
+	count     []int
+}
+
+// BuildSynopsis summarises the signal into blocks of blockSize points.
+func BuildSynopsis(signal []float64, blockSize int) (*Synopsis, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("searchlight: block size must be positive")
+	}
+	if len(signal) == 0 {
+		return nil, fmt.Errorf("searchlight: empty signal")
+	}
+	nb := (len(signal) + blockSize - 1) / blockSize
+	s := &Synopsis{
+		blockSize: blockSize, n: len(signal),
+		min: make([]float64, nb), max: make([]float64, nb),
+		sum: make([]float64, nb), count: make([]int, nb),
+	}
+	for b := 0; b < nb; b++ {
+		s.min[b] = math.Inf(1)
+		s.max[b] = math.Inf(-1)
+	}
+	for i, v := range signal {
+		b := i / blockSize
+		if v < s.min[b] {
+			s.min[b] = v
+		}
+		if v > s.max[b] {
+			s.max[b] = v
+		}
+		s.sum[b] += v
+		s.count[b]++
+	}
+	return s, nil
+}
+
+// bounds holds provable intervals for a window's aggregates.
+type bounds struct {
+	minLo, minHi float64 // window min ∈ [minLo, minHi]
+	maxLo, maxHi float64 // window max ∈ [maxLo, maxHi]
+	sumLo, sumHi float64 // window sum ∈ [sumLo, sumHi]
+}
+
+// windowBounds derives provable bounds for the window [start, end)
+// from the blocks it overlaps. Fully covered blocks sharpen both sides:
+// a block inside the window forces window max ≥ block max and window
+// min ≤ block min.
+func (s *Synopsis) windowBounds(start, end int) bounds {
+	b0 := start / s.blockSize
+	b1 := (end - 1) / s.blockSize
+	b := bounds{
+		minLo: math.Inf(1), minHi: math.Inf(1),
+		maxLo: math.Inf(-1), maxHi: math.Inf(-1),
+	}
+	for blk := b0; blk <= b1; blk++ {
+		bStart, bEnd := blk*s.blockSize, (blk+1)*s.blockSize
+		if bEnd > s.n {
+			bEnd = s.n
+		}
+		covered := start <= bStart && end >= bEnd
+		if s.min[blk] < b.minLo {
+			b.minLo = s.min[blk]
+		}
+		if s.max[blk] > b.maxHi {
+			b.maxHi = s.max[blk]
+		}
+		if covered {
+			if s.min[blk] < b.minHi {
+				b.minHi = s.min[blk] // window min ≤ this block's min
+			}
+			if s.max[blk] > b.maxLo {
+				b.maxLo = s.max[blk] // window max ≥ this block's max
+			}
+			b.sumLo += s.sum[blk]
+			b.sumHi += s.sum[blk]
+		} else {
+			overlap := float64(minInt(end, bEnd) - maxInt(start, bStart))
+			b.sumLo += overlap * s.min[blk]
+			b.sumHi += overlap * s.max[blk]
+		}
+	}
+	// With no fully covered block, fall back to the loose sides.
+	if math.IsInf(b.minHi, 1) {
+		b.minHi = b.maxHi
+	}
+	if math.IsInf(b.maxLo, -1) {
+		b.maxLo = b.minLo
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Search runs the CP search over the synopsis, validating undecided
+// candidates on the raw signal.
+func Search(signal []float64, syn *Synopsis, q Query) ([]Match, Stats, error) {
+	var stats Stats
+	if q.WindowLen <= 0 || q.WindowLen > len(signal) {
+		return nil, stats, fmt.Errorf("searchlight: window length %d out of range", q.WindowLen)
+	}
+	if len(q.Constraints) == 0 {
+		return nil, stats, fmt.Errorf("searchlight: no constraints")
+	}
+	for _, c := range q.Constraints {
+		switch c.Agg {
+		case "avg", "min", "max", "sum":
+		default:
+			return nil, stats, fmt.Errorf("searchlight: unknown aggregate %q", c.Agg)
+		}
+	}
+	var out []Match
+	wlen := float64(q.WindowLen)
+	for start := 0; start+q.WindowLen <= len(signal); start++ {
+		stats.WindowsTotal++
+		end := start + q.WindowLen
+		wb := syn.windowBounds(start, end)
+
+		feasible := true   // could satisfy all constraints
+		guaranteed := true // provably satisfies all constraints
+		for _, c := range q.Constraints {
+			var lo, hi float64 // provable interval for the aggregate
+			switch c.Agg {
+			case "min":
+				lo, hi = wb.minLo, wb.minHi
+			case "max":
+				lo, hi = wb.maxLo, wb.maxHi
+			case "sum":
+				lo, hi = wb.sumLo, wb.sumHi
+			case "avg":
+				lo, hi = wb.sumLo/wlen, wb.sumHi/wlen
+			}
+			if hi < c.Lo || lo > c.Hi {
+				feasible = false
+				break
+			}
+			if !(lo >= c.Lo && hi <= c.Hi) {
+				guaranteed = false
+			}
+		}
+		if !feasible {
+			stats.PrunedInfeasible++
+			continue
+		}
+		if guaranteed {
+			stats.AcceptedByBounds++
+			m := exactAggregates(signal, start, end)
+			out = append(out, m)
+			continue
+		}
+		// Undecided: validate on the actual data.
+		stats.Validated++
+		stats.RawPointsRead += int64(q.WindowLen)
+		m := exactAggregates(signal, start, end)
+		if satisfies(m, q.Constraints) {
+			out = append(out, m)
+		}
+	}
+	return out, stats, nil
+}
+
+// SearchExhaustive is the no-synopsis baseline: every window validates
+// against raw data.
+func SearchExhaustive(signal []float64, q Query) ([]Match, Stats, error) {
+	var stats Stats
+	if q.WindowLen <= 0 || q.WindowLen > len(signal) {
+		return nil, stats, fmt.Errorf("searchlight: window length %d out of range", q.WindowLen)
+	}
+	var out []Match
+	for start := 0; start+q.WindowLen <= len(signal); start++ {
+		stats.WindowsTotal++
+		stats.Validated++
+		stats.RawPointsRead += int64(q.WindowLen)
+		m := exactAggregates(signal, start, start+q.WindowLen)
+		if satisfies(m, q.Constraints) {
+			out = append(out, m)
+		}
+	}
+	return out, stats, nil
+}
+
+func exactAggregates(signal []float64, start, end int) Match {
+	m := Match{Start: start, Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, v := range signal[start:end] {
+		m.Sum += v
+		if v < m.Min {
+			m.Min = v
+		}
+		if v > m.Max {
+			m.Max = v
+		}
+	}
+	m.Avg = m.Sum / float64(end-start)
+	return m
+}
+
+func satisfies(m Match, cs []Constraint) bool {
+	for _, c := range cs {
+		var v float64
+		switch c.Agg {
+		case "avg":
+			v = m.Avg
+		case "min":
+			v = m.Min
+		case "max":
+			v = m.Max
+		case "sum":
+			v = m.Sum
+		}
+		if v < c.Lo || v > c.Hi {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package searchlight
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rampSignal(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2*math.Pi*float64(i)/50) * 0.5
+	}
+	// Plant a flat region of value ~0.5 at [200, 240).
+	for i := 200; i < 240 && i < n; i++ {
+		out[i] = 0.5
+	}
+	return out
+}
+
+func TestBuildSynopsisValidation(t *testing.T) {
+	if _, err := BuildSynopsis(nil, 8); err == nil {
+		t.Error("empty signal should fail")
+	}
+	if _, err := BuildSynopsis([]float64{1}, 0); err == nil {
+		t.Error("zero block size should fail")
+	}
+}
+
+func TestSearchFindsPlantedRegion(t *testing.T) {
+	sig := rampSignal(1000)
+	syn, err := BuildSynopsis(sig, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		WindowLen: 32,
+		Constraints: []Constraint{
+			{Agg: "avg", Lo: 0.45, Hi: 0.55},
+			{Agg: "min", Lo: 0.4, Hi: 1},
+		},
+	}
+	matches, stats, err := Search(sig, syn, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("planted region not found")
+	}
+	for _, m := range matches {
+		if m.Start < 190 || m.Start > 210 {
+			t.Errorf("unexpected match at %d", m.Start)
+		}
+	}
+	if stats.PrunedInfeasible == 0 {
+		t.Error("synopsis should prune most windows")
+	}
+}
+
+func TestSearchMatchesExhaustive(t *testing.T) {
+	sig := rampSignal(2000)
+	syn, _ := BuildSynopsis(sig, 8)
+	queries := []Query{
+		{WindowLen: 25, Constraints: []Constraint{{Agg: "avg", Lo: 0.4, Hi: 0.6}}},
+		{WindowLen: 50, Constraints: []Constraint{{Agg: "max", Lo: -1, Hi: 0.45}}},
+		{WindowLen: 10, Constraints: []Constraint{{Agg: "sum", Lo: 4, Hi: 6}}},
+		{WindowLen: 40, Constraints: []Constraint{
+			{Agg: "avg", Lo: 0.45, Hi: 0.55}, {Agg: "min", Lo: 0.3, Hi: 1}}},
+	}
+	for qi, q := range queries {
+		fast, fastStats, err := Search(sig, syn, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, slowStats, err := SearchExhaustive(sig, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("query %d: %d matches vs %d exhaustive", qi, len(fast), len(slow))
+		}
+		for i := range fast {
+			if fast[i].Start != slow[i].Start {
+				t.Errorf("query %d match %d: start %d vs %d", qi, i, fast[i].Start, slow[i].Start)
+			}
+		}
+		if fastStats.RawPointsRead >= slowStats.RawPointsRead {
+			t.Errorf("query %d: synopsis read %d raw points, exhaustive %d",
+				qi, fastStats.RawPointsRead, slowStats.RawPointsRead)
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	sig := rampSignal(100)
+	syn, _ := BuildSynopsis(sig, 8)
+	if _, _, err := Search(sig, syn, Query{WindowLen: 0, Constraints: []Constraint{{Agg: "avg"}}}); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, _, err := Search(sig, syn, Query{WindowLen: 1000, Constraints: []Constraint{{Agg: "avg"}}}); err == nil {
+		t.Error("oversized window should fail")
+	}
+	if _, _, err := Search(sig, syn, Query{WindowLen: 10}); err == nil {
+		t.Error("no constraints should fail")
+	}
+	if _, _, err := Search(sig, syn, Query{WindowLen: 10, Constraints: []Constraint{{Agg: "median", Lo: 0, Hi: 1}}}); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+}
+
+func TestSynopsisBoundsAreSound(t *testing.T) {
+	// Property: for random signals and windows, the synopsis bounds
+	// always contain the exact aggregates (soundness of speculation).
+	f := func(raw []float64, startRaw, lenRaw uint8) bool {
+		if len(raw) < 8 {
+			return true
+		}
+		sig := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+			sig = append(sig, v)
+		}
+		syn, err := BuildSynopsis(sig, 4)
+		if err != nil {
+			return false
+		}
+		wlen := 2 + int(lenRaw)%6
+		if wlen > len(sig) {
+			return true
+		}
+		start := int(startRaw) % (len(sig) - wlen + 1)
+		end := start + wlen
+		wb := syn.windowBounds(start, end)
+		m := exactAggregates(sig, start, end)
+		const eps = 1e-9
+		return m.Min >= wb.minLo-eps && m.Min <= wb.minHi+eps &&
+			m.Max >= wb.maxLo-eps && m.Max <= wb.maxHi+eps &&
+			m.Sum >= wb.sumLo-eps-1e-9*math.Abs(wb.sumLo) &&
+			m.Sum <= wb.sumHi+eps+1e-9*math.Abs(wb.sumHi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarseSynopsisStillCorrect(t *testing.T) {
+	// Ablation: a coarser synopsis prunes less but never changes results.
+	sig := rampSignal(1500)
+	q := Query{WindowLen: 30, Constraints: []Constraint{{Agg: "avg", Lo: 0.45, Hi: 0.55}}}
+	fine, _ := BuildSynopsis(sig, 4)
+	coarse, _ := BuildSynopsis(sig, 64)
+	mf, sf, err := Search(sig, fine, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, sc, err := Search(sig, coarse, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf) != len(mc) {
+		t.Fatalf("resolution changed results: %d vs %d", len(mf), len(mc))
+	}
+	if sf.RawPointsRead > sc.RawPointsRead {
+		t.Errorf("finer synopsis should validate no more raw data: %d vs %d",
+			sf.RawPointsRead, sc.RawPointsRead)
+	}
+}

@@ -1,0 +1,351 @@
+// Package seedb implements BigDAWG's first exploratory-analysis system
+// (§2.2 of the paper): SeeDB computes aggregate views — GROUP BY
+// queries over every (dimension, measure, aggregate) combination — for
+// a target subset of the data and for the rest of it, ranks the views
+// by a deviation-based utility (how differently the target behaves),
+// and returns the top k as recommended visualisations. To stay
+// interactive on large data it processes rows in phases over a shuffled
+// sample and prunes views whose confidence interval cannot reach the
+// top k, computing only survivors on the full data.
+package seedb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/relational"
+)
+
+// Agg names the aggregate function of a view.
+type Agg string
+
+// Supported view aggregates.
+const (
+	AggAvg   Agg = "avg"
+	AggSum   Agg = "sum"
+	AggCount Agg = "count"
+)
+
+// View is one candidate visualisation: measure aggregated per dimension
+// value, compared between the target subset and the reference (rest).
+type View struct {
+	Dim     string
+	Measure string
+	Agg     Agg
+}
+
+// String renders the view like "avg(days) by race".
+func (v View) String() string { return fmt.Sprintf("%s(%s) by %s", v.Agg, v.Measure, v.Dim) }
+
+// Result is one ranked view.
+type Result struct {
+	View    View
+	Utility float64
+	// Target and Reference hold the per-dimension-value aggregates that
+	// a front end would render as the two bar series of Figure 2.
+	Target    map[string]float64
+	Reference map[string]float64
+}
+
+// Stats reports the work done, contrasting exhaustive and pruned runs.
+type Stats struct {
+	ViewsConsidered int
+	ViewsPruned     int
+	RowsProcessed   int64
+	Phases          int
+}
+
+// Options tunes Explore.
+type Options struct {
+	// K is the number of views to return (default 5).
+	K int
+	// Prune enables phased sampling + confidence-interval pruning; when
+	// false every view is computed exhaustively.
+	Prune bool
+	// Phases is the number of pruning rounds (default 8).
+	Phases int
+	// SampleFraction is the fraction of rows used during the pruning
+	// phases (default 0.25); survivors are recomputed on all rows.
+	SampleFraction float64
+	// Seed drives the sampling shuffle.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 5
+	}
+	if o.Phases <= 0 {
+		o.Phases = 8
+	}
+	if o.SampleFraction <= 0 || o.SampleFraction > 1 {
+		o.SampleFraction = 0.25
+	}
+	return o
+}
+
+// viewState accumulates one view's grouped aggregates incrementally.
+type viewState struct {
+	view   View
+	dimIdx int
+	mIdx   int
+	target groupAgg
+	ref    groupAgg
+	pruned bool
+}
+
+type groupAgg struct {
+	sum   map[string]float64
+	count map[string]int64
+}
+
+func newGroupAgg() groupAgg {
+	return groupAgg{sum: map[string]float64{}, count: map[string]int64{}}
+}
+
+func (g groupAgg) add(key string, v float64) {
+	g.sum[key] += v
+	g.count[key]++
+}
+
+// value materialises the aggregate for one group.
+func (g groupAgg) value(agg Agg, key string) float64 {
+	switch agg {
+	case AggSum:
+		return g.sum[key]
+	case AggCount:
+		return float64(g.count[key])
+	default: // avg
+		if g.count[key] == 0 {
+			return 0
+		}
+		return g.sum[key] / float64(g.count[key])
+	}
+}
+
+// utility computes the deviation-based utility: the L2 distance between
+// the normalised aggregate distributions of target and reference — the
+// metric SeeDB's paper calls its "foremost" utility.
+func (s *viewState) utility() float64 {
+	keys := map[string]bool{}
+	for k := range s.target.count {
+		keys[k] = true
+	}
+	for k := range s.ref.count {
+		keys[k] = true
+	}
+	if len(keys) < 2 {
+		return 0 // a single bar cannot deviate interestingly
+	}
+	var tVec, rVec []float64
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		tVec = append(tVec, s.target.value(s.view.Agg, k))
+		rVec = append(rVec, s.ref.value(s.view.Agg, k))
+	}
+	normalize(tVec)
+	normalize(rVec)
+	d := 0.0
+	for i := range tVec {
+		diff := tVec[i] - rVec[i]
+		d += diff * diff
+	}
+	return math.Sqrt(d)
+}
+
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// Explore ranks aggregate views of rel. targetPred is a SQL predicate
+// defining the analysed subset (e.g. "ward = 'icu'"); the reference is
+// every other row. dims are categorical columns, measures numeric ones.
+func Explore(rel *engine.Relation, targetPred string, dims, measures []string, aggs []Agg, opts Options) ([]Result, Stats, error) {
+	opts = opts.withDefaults()
+	var stats Stats
+	if len(dims) == 0 || len(measures) == 0 || len(aggs) == 0 {
+		return nil, stats, fmt.Errorf("seedb: need dims, measures and aggs")
+	}
+	pred, err := relational.CompileRowExpr(targetPred, rel.Schema.Columns)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Build the view lattice.
+	var views []*viewState
+	for _, d := range dims {
+		di, err := rel.Schema.MustIndex(d)
+		if err != nil {
+			return nil, stats, err
+		}
+		for _, m := range measures {
+			mi, err := rel.Schema.MustIndex(m)
+			if err != nil {
+				return nil, stats, err
+			}
+			if strings.EqualFold(d, m) {
+				continue
+			}
+			for _, a := range aggs {
+				views = append(views, &viewState{
+					view:   View{Dim: d, Measure: m, Agg: a},
+					dimIdx: di, mIdx: mi,
+					target: newGroupAgg(), ref: newGroupAgg(),
+				})
+			}
+		}
+	}
+	stats.ViewsConsidered = len(views)
+
+	// Precompute target membership once.
+	inTarget := make([]bool, rel.Len())
+	for i, t := range rel.Tuples {
+		v, err := pred(t)
+		if err != nil {
+			return nil, stats, err
+		}
+		inTarget[i] = !v.IsNull() && v.AsBool()
+	}
+
+	if opts.Prune {
+		if err := prunePhases(rel, views, inTarget, opts, &stats); err != nil {
+			return nil, stats, err
+		}
+		// Reset survivors and recompute exactly on the full data.
+		for _, vs := range views {
+			if !vs.pruned {
+				vs.target = newGroupAgg()
+				vs.ref = newGroupAgg()
+			}
+		}
+	}
+	for i, t := range rel.Tuples {
+		stats.RowsProcessed++
+		for _, vs := range views {
+			if vs.pruned {
+				continue
+			}
+			key := t[vs.dimIdx].String()
+			val := t[vs.mIdx].AsFloat()
+			if math.IsNaN(val) {
+				continue
+			}
+			if inTarget[i] {
+				vs.target.add(key, val)
+			} else {
+				vs.ref.add(key, val)
+			}
+		}
+	}
+
+	var results []Result
+	for _, vs := range views {
+		if vs.pruned {
+			continue
+		}
+		res := Result{View: vs.view, Utility: vs.utility(),
+			Target: map[string]float64{}, Reference: map[string]float64{}}
+		for k := range vs.target.count {
+			res.Target[k] = vs.target.value(vs.view.Agg, k)
+		}
+		for k := range vs.ref.count {
+			res.Reference[k] = vs.ref.value(vs.view.Agg, k)
+		}
+		results = append(results, res)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Utility != results[j].Utility {
+			return results[i].Utility > results[j].Utility
+		}
+		return results[i].View.String() < results[j].View.String()
+	})
+	if len(results) > opts.K {
+		results = results[:opts.K]
+	}
+	return results, stats, nil
+}
+
+// prunePhases runs the sampling phases, marking hopeless views pruned.
+// The confidence radius shrinks as more of the sample is consumed
+// (Hoeffding-style 1/√n), and a view is pruned when its upper bound
+// falls below the K-th best lower bound.
+func prunePhases(rel *engine.Relation, views []*viewState, inTarget []bool, opts Options, stats *Stats) error {
+	n := rel.Len()
+	sampleN := int(float64(n) * opts.SampleFraction)
+	if sampleN < opts.Phases {
+		return nil // too little data to bother pruning
+	}
+	order := rand.New(rand.NewSource(opts.Seed)).Perm(n)[:sampleN]
+	perPhase := sampleN / opts.Phases
+	processed := 0
+	for phase := 0; phase < opts.Phases; phase++ {
+		stats.Phases++
+		end := processed + perPhase
+		if phase == opts.Phases-1 {
+			end = sampleN
+		}
+		for _, idx := range order[processed:end] {
+			stats.RowsProcessed++
+			t := rel.Tuples[idx]
+			for _, vs := range views {
+				if vs.pruned {
+					continue
+				}
+				key := t[vs.dimIdx].String()
+				val := t[vs.mIdx].AsFloat()
+				if math.IsNaN(val) {
+					continue
+				}
+				if inTarget[idx] {
+					vs.target.add(key, val)
+				} else {
+					vs.ref.add(key, val)
+				}
+			}
+		}
+		processed = end
+
+		// Utilities live in [0, √2]; the radius follows Hoeffding decay.
+		radius := math.Sqrt2 * math.Sqrt(math.Log(float64(2*opts.Phases))/
+			(2*float64(processed)/float64(perPhase)))
+		type bound struct {
+			vs *viewState
+			u  float64
+		}
+		var bounds []bound
+		for _, vs := range views {
+			if !vs.pruned {
+				bounds = append(bounds, bound{vs, vs.utility()})
+			}
+		}
+		if len(bounds) <= opts.K {
+			break // nothing left to prune
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i].u > bounds[j].u })
+		kthLower := bounds[opts.K-1].u - radius
+		for _, b := range bounds[opts.K:] {
+			if b.u+radius < kthLower {
+				b.vs.pruned = true
+				stats.ViewsPruned++
+			}
+		}
+	}
+	return nil
+}

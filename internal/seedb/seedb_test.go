@@ -1,0 +1,160 @@
+package seedb
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mimic"
+)
+
+// admissionsWithRace joins the mimic admissions with patient race into
+// one flat relation, the input SeeDB explores in the demo.
+func admissionsWithRace(t *testing.T, patients int) *engine.Relation {
+	t.Helper()
+	cfg := mimic.DefaultConfig()
+	cfg.Patients = patients
+	ds, err := mimic.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raceOf := map[int64]string{}
+	sexOf := map[int64]string{}
+	idIdx := ds.Patients.Schema.Index("id")
+	raceIdx := ds.Patients.Schema.Index("race")
+	sexIdx := ds.Patients.Schema.Index("sex")
+	for _, p := range ds.Patients.Tuples {
+		raceOf[p[idIdx].I] = p[raceIdx].S
+		sexOf[p[idIdx].I] = p[sexIdx].S
+	}
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("ward", engine.TypeString),
+		engine.Col("race", engine.TypeString),
+		engine.Col("sex", engine.TypeString),
+		engine.Col("drug", engine.TypeString),
+		engine.Col("days", engine.TypeFloat),
+	))
+	for _, a := range ds.Admissions.Tuples {
+		pid := a[1].I
+		_ = rel.Append(engine.Tuple{
+			a[2], engine.NewString(raceOf[pid]), engine.NewString(sexOf[pid]), a[4], a[3],
+		})
+	}
+	return rel
+}
+
+func defaultViews() ([]string, []string, []Agg) {
+	return []string{"race", "sex", "drug"}, []string{"days"}, []Agg{AggAvg, AggCount}
+}
+
+func TestExploreValidation(t *testing.T) {
+	rel := admissionsWithRace(t, 20)
+	if _, _, err := Explore(rel, "ward = 'icu'", nil, []string{"days"}, []Agg{AggAvg}, Options{}); err == nil {
+		t.Error("no dims should fail")
+	}
+	if _, _, err := Explore(rel, "bogus (", []string{"race"}, []string{"days"}, []Agg{AggAvg}, Options{}); err == nil {
+		t.Error("bad predicate should fail")
+	}
+	if _, _, err := Explore(rel, "ward = 'icu'", []string{"nope"}, []string{"days"}, []Agg{AggAvg}, Options{}); err == nil {
+		t.Error("unknown dim should fail")
+	}
+}
+
+func TestFigure2RaceViewRanksTop(t *testing.T) {
+	// The planted signal: within the ICU cohort the race↔stay-duration
+	// relationship reverses the population trend, so avg(days) by race
+	// must be the top view (Figure 2 of the paper).
+	rel := admissionsWithRace(t, 400)
+	dims, measures, aggs := defaultViews()
+	results, stats, err := Explore(rel, "ward = 'icu'", dims, measures, aggs, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no views returned")
+	}
+	top := results[0]
+	if top.View.Dim != "race" || top.View.Agg != AggAvg {
+		t.Errorf("top view = %v (utility %.3f), want avg(days) by race", top.View, top.Utility)
+	}
+	// The reversal itself: in-target white < black, reference white > black.
+	if top.Target["white"] >= top.Target["black"] {
+		t.Errorf("target: white %.2f should be < black %.2f", top.Target["white"], top.Target["black"])
+	}
+	if top.Reference["white"] <= top.Reference["black"] {
+		t.Errorf("reference: white %.2f should be > black %.2f", top.Reference["white"], top.Reference["black"])
+	}
+	if stats.ViewsConsidered != 6 { // 3 dims × 1 measure × 2 aggs
+		t.Errorf("views considered: %d", stats.ViewsConsidered)
+	}
+}
+
+func TestPruningPreservesTopView(t *testing.T) {
+	rel := admissionsWithRace(t, 400)
+	dims, measures, aggs := defaultViews()
+	full, fullStats, err := Explore(rel, "ward = 'icu'", dims, measures, aggs, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, prunedStats, err := Explore(rel, "ward = 'icu'", dims, measures, aggs,
+		Options{K: 3, Prune: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full[0].View != pruned[0].View {
+		t.Errorf("pruned top view %v != exhaustive %v", pruned[0].View, full[0].View)
+	}
+	// Utilities of survivors match exactly (they are recomputed fully).
+	if full[0].Utility != pruned[0].Utility {
+		t.Errorf("utility mismatch: %v vs %v", full[0].Utility, pruned[0].Utility)
+	}
+	if prunedStats.Phases == 0 {
+		t.Error("pruning ran no phases")
+	}
+	_ = fullStats
+}
+
+func TestPruningReducesWorkWhenViewsPruned(t *testing.T) {
+	rel := admissionsWithRace(t, 400)
+	// Wider lattice so there is something to prune.
+	dims := []string{"race", "sex", "drug", "ward"}
+	measures := []string{"days"}
+	aggs := []Agg{AggAvg, AggSum, AggCount}
+	full, fullStats, err := Explore(rel, "drug = 'aspirin'", dims, measures, aggs, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, prunedStats, err := Explore(rel, "drug = 'aspirin'", dims, measures, aggs,
+		Options{K: 1, Prune: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full[0].View != pruned[0].View {
+		t.Errorf("top view diverged: %v vs %v", pruned[0].View, full[0].View)
+	}
+	if prunedStats.ViewsPruned > 0 && prunedStats.RowsProcessed >= fullStats.RowsProcessed*2 {
+		t.Errorf("pruning did not pay for itself: %d rows vs %d",
+			prunedStats.RowsProcessed, fullStats.RowsProcessed)
+	}
+}
+
+func TestDegenerateTarget(t *testing.T) {
+	rel := admissionsWithRace(t, 50)
+	dims, measures, aggs := defaultViews()
+	// Empty target: utilities are all well-defined (0 deviation is fine).
+	results, _, err := Explore(rel, "ward = 'no_such_ward'", dims, measures, aggs, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Utility < 0 {
+			t.Errorf("negative utility: %v", r)
+		}
+	}
+}
+
+func TestViewString(t *testing.T) {
+	v := View{Dim: "race", Measure: "days", Agg: AggAvg}
+	if v.String() != "avg(days) by race" {
+		t.Errorf("View.String() = %q", v.String())
+	}
+}

@@ -1,0 +1,511 @@
+// Package stream implements BigDAWG's S-Store substitute: a
+// transactional stream processing engine. Following the paper (§2.5) it
+// provides the three S-Store extensions over a NewSQL core:
+//
+//  1. streams and sliding windows represented as time-varying tables,
+//  2. an ingestion module absorbing feeds directly from a TCP/IP
+//     connection, and
+//  3. a lightweight command-log recovery scheme.
+//
+// Appends are atomic: the record lands in the window and every
+// registered trigger (stored procedure) runs inside the same critical
+// section, so a trigger always observes the stream state the append
+// produced. Records that age out of a window are handed to an eviction
+// hook, which the polystore wires to the array engine ("data ages out
+// of S-Store and is loaded into SciDB", §3).
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Record is one stream element: an event timestamp (logical, e.g.
+// sample index or unix nanos) plus a tuple matching the stream schema.
+type Record struct {
+	TS     int64
+	Values engine.Tuple
+}
+
+// Trigger is a stored procedure fired synchronously on every append,
+// inside the append's critical section. The view gives read access to
+// the stream's current window including the new record. An error aborts
+// (rolls back) the append.
+type Trigger func(view *WindowView, rec Record) error
+
+// WindowView is a read-only view of one stream's window during a
+// trigger or snapshot.
+type WindowView struct {
+	Name    string
+	Schema  engine.Schema
+	records []Record
+}
+
+// Len returns the number of records in the window.
+func (w *WindowView) Len() int { return len(w.records) }
+
+// At returns the i-th record, oldest first.
+func (w *WindowView) At(i int) Record { return w.records[i] }
+
+// Last returns the newest record.
+func (w *WindowView) Last() Record { return w.records[len(w.records)-1] }
+
+// Floats extracts one column of the window as floats, oldest first.
+func (w *WindowView) Floats(col string) ([]float64, error) {
+	idx, err := w.Schema.MustIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(w.records))
+	for i, r := range w.records {
+		out[i] = r.Values[idx].AsFloat()
+	}
+	return out, nil
+}
+
+// Aggregate computes a simple aggregate over one column of the window.
+func (w *WindowView) Aggregate(kind, col string) (float64, error) {
+	vals, err := w.Floats(col)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("stream: empty window")
+	}
+	switch strings.ToLower(kind) {
+	case "sum", "avg":
+		s := 0.0
+		for _, v := range vals {
+			s += v
+		}
+		if strings.EqualFold(kind, "avg") {
+			return s / float64(len(vals)), nil
+		}
+		return s, nil
+	case "min":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case "max":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case "count":
+		return float64(len(vals)), nil
+	default:
+		return 0, fmt.Errorf("stream: unknown aggregate %q", kind)
+	}
+}
+
+type streamState struct {
+	name     string
+	schema   engine.Schema
+	capacity int   // sliding window size in records; -1 for time-based
+	timeSpan int64 // time-based window span (capacity == -1)
+	window   []Record
+	triggers []namedTrigger
+	appended int64
+}
+
+type namedTrigger struct {
+	name string
+	fn   Trigger
+}
+
+// Engine is the stream processor. One mutex serialises all appends
+// (single-writer transactional core, like H-Store's single-threaded
+// partitions); readers snapshot windows under the same lock.
+type Engine struct {
+	mu      sync.Mutex
+	streams map[string]*streamState
+	evict   func(stream string, rec Record)
+
+	log   *commandLog
+	stats Stats
+
+	listener net.Listener
+	wg       sync.WaitGroup
+}
+
+// Stats counts engine work for the cross-system monitor.
+type Stats struct {
+	Appends  int64
+	Triggers int64
+	Aborts   int64
+}
+
+// NewEngine creates a stream engine with no recovery log.
+func NewEngine() *Engine {
+	return &Engine{streams: map[string]*streamState{}}
+}
+
+// NewEngineWithLog creates an engine that command-logs every append to
+// path for crash recovery.
+func NewEngineWithLog(path string) (*Engine, error) {
+	cl, err := openCommandLog(path)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEngine()
+	e.log = cl
+	return e, nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// OnEvict registers the hook receiving records that slide out of any
+// window. The hook runs outside the append critical section.
+func (e *Engine) OnEvict(fn func(stream string, rec Record)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evict = fn
+}
+
+// CreateStream declares a stream with a count-based sliding window.
+func (e *Engine) CreateStream(name string, schema engine.Schema, windowCapacity int) error {
+	if windowCapacity <= 0 {
+		return fmt.Errorf("stream: window capacity must be positive")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.streams[key]; ok {
+		return fmt.Errorf("stream: stream %q already exists", name)
+	}
+	e.streams[key] = &streamState{name: name, schema: schema, capacity: windowCapacity}
+	return nil
+}
+
+// RegisterTrigger attaches a stored procedure to a stream.
+func (e *Engine) RegisterTrigger(stream, name string, fn Trigger) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.streams[strings.ToLower(stream)]
+	if !ok {
+		return fmt.Errorf("stream: no stream %q", stream)
+	}
+	st.triggers = append(st.triggers, namedTrigger{name, fn})
+	return nil
+}
+
+// Append ingests one record transactionally: window update plus all
+// triggers succeed, or the append rolls back entirely.
+func (e *Engine) Append(stream string, rec Record) error {
+	e.mu.Lock()
+	st, ok := e.streams[strings.ToLower(stream)]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("stream: no stream %q", stream)
+	}
+	if len(rec.Values) != len(st.schema.Columns) {
+		e.mu.Unlock()
+		return fmt.Errorf("stream: %s: arity %d != %d", stream, len(rec.Values), len(st.schema.Columns))
+	}
+	var evicted []Record
+	if st.capacity < 0 {
+		ev, err := st.appendTimeBased(rec)
+		if err != nil {
+			e.mu.Unlock()
+			return err
+		}
+		evicted = ev
+	} else {
+		if len(st.window) >= st.capacity {
+			evicted = append(evicted, st.window[0])
+			st.window = st.window[1:]
+		}
+		st.window = append(st.window, rec)
+	}
+	view := &WindowView{Name: st.name, Schema: st.schema, records: st.window}
+	for _, tr := range st.triggers {
+		e.stats.Triggers++
+		if err := tr.fn(view, rec); err != nil {
+			// Roll back: restore prior window.
+			if st.capacity < 0 {
+				st.undoTimeAppend(rec, evicted)
+			} else {
+				st.window = st.window[:len(st.window)-1]
+				if len(evicted) > 0 {
+					st.window = append(append([]Record{}, evicted...), st.window...)
+				}
+			}
+			e.stats.Aborts++
+			e.mu.Unlock()
+			return fmt.Errorf("stream: trigger %s aborted append: %w", tr.name, err)
+		}
+	}
+	st.appended++
+	e.stats.Appends++
+	evictFn := e.evict
+	if e.log != nil {
+		if err := e.log.append(st.name, rec); err != nil {
+			e.mu.Unlock()
+			return err
+		}
+	}
+	e.mu.Unlock()
+	if evictFn != nil {
+		for _, ev := range evicted {
+			evictFn(st.name, ev)
+		}
+	}
+	return nil
+}
+
+// Window snapshots the current window of a stream.
+func (e *Engine) Window(stream string) (*WindowView, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.streams[strings.ToLower(stream)]
+	if !ok {
+		return nil, fmt.Errorf("stream: no stream %q", stream)
+	}
+	recs := make([]Record, len(st.window))
+	copy(recs, st.window)
+	return &WindowView{Name: st.name, Schema: st.schema, records: recs}, nil
+}
+
+// Appended returns the total records ever appended to a stream.
+func (e *Engine) Appended(stream string) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.streams[strings.ToLower(stream)]
+	if !ok {
+		return 0, fmt.Errorf("stream: no stream %q", stream)
+	}
+	return st.appended, nil
+}
+
+// Streams lists stream names.
+func (e *Engine) Streams() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.streams))
+	for _, st := range e.streams {
+		out = append(out, st.name)
+	}
+	return out
+}
+
+// Dump exports a stream's current window as a relation with a leading
+// ts column (CAST egress from the streaming island).
+func (e *Engine) Dump(stream string) (*engine.Relation, error) {
+	w, err := e.Window(stream)
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]engine.Column{engine.Col("ts", engine.TypeInt)}, w.Schema.Columns...)
+	rel := engine.NewRelation(engine.Schema{Columns: cols})
+	for _, r := range w.records {
+		row := make(engine.Tuple, 0, len(cols))
+		row = append(row, engine.NewInt(r.TS))
+		row = append(row, r.Values...)
+		_ = rel.Append(row)
+	}
+	return rel, nil
+}
+
+// --- TCP ingestion (§2.5 (ii)) ---
+
+// Listen starts the TCP ingestion module on addr (e.g. "127.0.0.1:0").
+// Clients send one record per line:
+//
+//	streamName,ts,v1,v2,...
+//
+// Values are parsed against the stream schema. The returned address is
+// the bound listen address. Close shuts the listener down.
+func (e *Engine) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.listener = ln
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			e.wg.Add(1)
+			go func(c net.Conn) {
+				defer e.wg.Done()
+				defer c.Close()
+				e.serveConn(c)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (e *Engine) serveConn(c net.Conn) {
+	sc := bufio.NewScanner(c)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := e.IngestLine(line); err != nil {
+			fmt.Fprintf(c, "ERR %v\n", err)
+			continue
+		}
+		fmt.Fprintf(c, "OK\n")
+	}
+}
+
+// IngestLine parses and appends one "stream,ts,v1,..." line.
+func (e *Engine) IngestLine(line string) error {
+	parts := strings.Split(line, ",")
+	if len(parts) < 2 {
+		return fmt.Errorf("stream: malformed ingest line %q", line)
+	}
+	name := strings.TrimSpace(parts[0])
+	e.mu.Lock()
+	st, ok := e.streams[strings.ToLower(name)]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("stream: no stream %q", name)
+	}
+	schema := st.schema
+	e.mu.Unlock()
+	var ts int64
+	if _, err := fmt.Sscanf(strings.TrimSpace(parts[1]), "%d", &ts); err != nil {
+		return fmt.Errorf("stream: bad timestamp in %q", line)
+	}
+	fields := parts[2:]
+	if len(fields) != len(schema.Columns) {
+		return fmt.Errorf("stream: %s: got %d values, want %d", name, len(fields), len(schema.Columns))
+	}
+	vals := make(engine.Tuple, len(fields))
+	for i, f := range fields {
+		v, err := engine.ParseValue(strings.TrimSpace(f), schema.Columns[i].Type)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	return e.Append(name, Record{TS: ts, Values: vals})
+}
+
+// Close stops the TCP listener (if any), closes the command log, and
+// waits for connection handlers to drain.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	ln := e.listener
+	e.listener = nil
+	cl := e.log
+	e.log = nil
+	e.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	e.wg.Wait()
+	if cl != nil {
+		return cl.close()
+	}
+	return nil
+}
+
+// --- Command-log recovery (§2.5 (iii)) ---
+
+// commandLog is an append-only log of ingested records. Recovery
+// replays the log through the normal Append path, re-firing triggers —
+// H-Store-style command logging rather than ARIES-style data logging,
+// hence "lightweight".
+type commandLog struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func openCommandLog(path string) (*commandLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &commandLog{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (cl *commandLog) append(stream string, rec Record) error {
+	parts := make([]string, 0, len(rec.Values)+2)
+	parts = append(parts, stream, fmt.Sprintf("%d", rec.TS))
+	for _, v := range rec.Values {
+		parts = append(parts, v.String())
+	}
+	if _, err := cl.bw.WriteString(strings.Join(parts, ",") + "\n"); err != nil {
+		return err
+	}
+	return cl.bw.Flush()
+}
+
+func (cl *commandLog) close() error {
+	if err := cl.bw.Flush(); err != nil {
+		return err
+	}
+	return cl.f.Close()
+}
+
+// Recover replays a command log into the engine. Streams and triggers
+// must be declared first; replay re-executes triggers, reconstructing
+// derived state exactly as the original run did.
+func (e *Engine) Recover(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := e.IngestLine(line); err != nil {
+			return n, fmt.Errorf("stream: recovery failed at record %d: %w", n, err)
+		}
+		n++
+	}
+	return n, sc.Err()
+}
+
+// WaitSettle is a test helper: it polls until the total appended count
+// across streams reaches want or the timeout expires.
+func (e *Engine) WaitSettle(want int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		e.mu.Lock()
+		var total int64
+		for _, st := range e.streams {
+			total += st.appended
+		}
+		e.mu.Unlock()
+		if total >= want {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}

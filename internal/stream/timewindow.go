@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Aliases for readability in this file.
+type (
+	streamSchema = engine.Schema
+	streamTuple  = engine.Tuple
+)
+
+// Time-based sliding windows. S-Store represents "streams and sliding
+// windows as time-varying tables"; alongside the count-based windows in
+// stream.go, a time-based stream retains every record whose event
+// timestamp lies within Span of the newest record, however many that
+// is. Out-of-order arrivals within the span are accepted; records older
+// than the span are rejected (too late) rather than silently reordered.
+
+// CreateTimeStream declares a stream whose window holds records with
+// TS > newestTS - span.
+func (e *Engine) CreateTimeStream(name string, schema streamSchema, span int64) error {
+	if span <= 0 {
+		return fmt.Errorf("stream: time window span must be positive")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.streams[key]; ok {
+		return fmt.Errorf("stream: stream %q already exists", name)
+	}
+	e.streams[key] = &streamState{
+		name: name, schema: schema,
+		capacity: -1, timeSpan: span,
+	}
+	return nil
+}
+
+// appendTimeBased slides a time window forward for a new record,
+// returning the evicted records. Callers hold e.mu.
+func (st *streamState) appendTimeBased(rec Record) (evicted []Record, err error) {
+	if len(st.window) > 0 {
+		newest := st.window[len(st.window)-1].TS
+		if rec.TS <= newest-st.timeSpan {
+			return nil, fmt.Errorf("stream: %s: record at ts=%d older than window horizon %d",
+				st.name, rec.TS, newest-st.timeSpan)
+		}
+	}
+	// Insert keeping the window sorted by TS (out-of-order arrivals
+	// within the span are legal).
+	pos := len(st.window)
+	for pos > 0 && st.window[pos-1].TS > rec.TS {
+		pos--
+	}
+	st.window = append(st.window, Record{})
+	copy(st.window[pos+1:], st.window[pos:])
+	st.window[pos] = rec
+
+	// Evict everything beyond the span from the (possibly new) newest.
+	newest := st.window[len(st.window)-1].TS
+	cut := 0
+	for cut < len(st.window) && st.window[cut].TS <= newest-st.timeSpan {
+		cut++
+	}
+	evicted = append(evicted, st.window[:cut]...)
+	st.window = st.window[cut:]
+	return evicted, nil
+}
+
+// undoTimeAppend rolls a failed time-based append back. Callers hold
+// e.mu; evicted are re-prepended in order.
+func (st *streamState) undoTimeAppend(rec Record, evicted []Record) {
+	for i, r := range st.window {
+		if r.TS == rec.TS && sameTuple(r.Values, rec.Values) {
+			st.window = append(st.window[:i], st.window[i+1:]...)
+			break
+		}
+	}
+	if len(evicted) > 0 {
+		st.window = append(append([]Record{}, evicted...), st.window...)
+	}
+}
+
+func sameTuple(a, b streamTuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestCreateTimeStreamValidation(t *testing.T) {
+	e := NewEngine()
+	if err := e.CreateTimeStream("x", waveSchema(), 0); err == nil {
+		t.Error("zero span should fail")
+	}
+	if err := e.CreateTimeStream("x", waveSchema(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTimeStream("x", waveSchema(), 100); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if err := e.CreateStream("x", waveSchema(), 5); err == nil {
+		t.Error("name collision with count stream should fail")
+	}
+}
+
+func TestTimeWindowRetention(t *testing.T) {
+	e := NewEngine()
+	if err := e.CreateTimeStream("wf", waveSchema(), 100); err != nil {
+		t.Fatal(err)
+	}
+	// Records every 10 ticks from 0 to 300: window keeps TS in (newest-100, newest].
+	for ts := int64(0); ts <= 300; ts += 10 {
+		if err := e.Append("wf", rec(ts, 1, float64(ts))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, _ := e.Window("wf")
+	if w.At(0).TS != 210 || w.Last().TS != 300 {
+		t.Errorf("window range [%d,%d], want [210,300]", w.At(0).TS, w.Last().TS)
+	}
+	if w.Len() != 10 {
+		t.Errorf("window len %d", w.Len())
+	}
+}
+
+func TestTimeWindowOutOfOrderWithinSpan(t *testing.T) {
+	e := NewEngine()
+	_ = e.CreateTimeStream("wf", waveSchema(), 100)
+	for _, ts := range []int64{10, 50, 30, 70, 40} {
+		if err := e.Append("wf", rec(ts, 1, 0)); err != nil {
+			t.Fatalf("ts=%d: %v", ts, err)
+		}
+	}
+	w, _ := e.Window("wf")
+	// Window must be TS-sorted despite arrival order.
+	for i := 1; i < w.Len(); i++ {
+		if w.At(i).TS < w.At(i-1).TS {
+			t.Fatalf("window unsorted at %d", i)
+		}
+	}
+	if w.Len() != 5 {
+		t.Errorf("len %d", w.Len())
+	}
+}
+
+func TestTimeWindowRejectsTooLate(t *testing.T) {
+	e := NewEngine()
+	_ = e.CreateTimeStream("wf", waveSchema(), 100)
+	_ = e.Append("wf", rec(500, 1, 0))
+	if err := e.Append("wf", rec(399, 1, 0)); err == nil {
+		t.Error("record older than the horizon should be rejected")
+	}
+	// Exactly at the horizon boundary (TS = newest-span) is too late;
+	// one tick inside is accepted.
+	if err := e.Append("wf", rec(401, 1, 0)); err != nil {
+		t.Errorf("in-span record rejected: %v", err)
+	}
+}
+
+func TestTimeWindowEviction(t *testing.T) {
+	e := NewEngine()
+	_ = e.CreateTimeStream("wf", waveSchema(), 50)
+	var mu sync.Mutex
+	var evicted []int64
+	e.OnEvict(func(_ string, r Record) {
+		mu.Lock()
+		evicted = append(evicted, r.TS)
+		mu.Unlock()
+	})
+	_ = e.Append("wf", rec(0, 1, 0))
+	_ = e.Append("wf", rec(10, 1, 0))
+	_ = e.Append("wf", rec(100, 1, 0)) // evicts 0 and 10 at once
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 2 || evicted[0] != 0 || evicted[1] != 10 {
+		t.Errorf("evicted: %v", evicted)
+	}
+}
+
+func TestTimeWindowTriggerAbortRollsBack(t *testing.T) {
+	e := NewEngine()
+	_ = e.CreateTimeStream("wf", waveSchema(), 100)
+	_ = e.RegisterTrigger("wf", "reject", func(_ *WindowView, r Record) error {
+		if r.Values[1].AsFloat() < 0 {
+			return fmt.Errorf("negative")
+		}
+		return nil
+	})
+	_ = e.Append("wf", rec(10, 1, 1))
+	_ = e.Append("wf", rec(20, 1, 2))
+	if err := e.Append("wf", rec(200, 1, -1)); err == nil {
+		t.Fatal("abort expected")
+	}
+	w, _ := e.Window("wf")
+	// Both original records restored, rejected record absent.
+	if w.Len() != 2 || w.At(0).TS != 10 || w.At(1).TS != 20 {
+		var ts []int64
+		for i := 0; i < w.Len(); i++ {
+			ts = append(ts, w.At(i).TS)
+		}
+		t.Errorf("rollback failed: window %v", ts)
+	}
+}
+
+func TestTimeWindowAggregates(t *testing.T) {
+	e := NewEngine()
+	_ = e.CreateTimeStream("wf", waveSchema(), 1000)
+	for i := int64(1); i <= 5; i++ {
+		_ = e.Append("wf", Record{TS: i * 100, Values: engine.Tuple{engine.NewInt(1), engine.NewFloat(float64(i))}})
+	}
+	w, _ := e.Window("wf")
+	avg, err := w.Aggregate("avg", "v")
+	if err != nil || avg != 3 {
+		t.Errorf("avg = %v %v", avg, err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package tiledb implements BigDAWG's TileDB substitute: a prototype
+// array store whose fundamental unit of storage and computation is the
+// tile — an irregular subarray optimised separately for dense and
+// sparse content (§2.5 of the paper). Writes produce immutable
+// fragments of tiles; reads merge fragments newest-first; consolidation
+// compacts fragments, mirroring TileDB's design.
+//
+// The payload is a single float64 attribute, which is what the paper's
+// sparse-linear-algebra coupling (§2.4) needs; the general-purpose
+// multi-attribute array engine lives in internal/array.
+package tiledb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Box is an inclusive n-dimensional bounding box.
+type Box struct {
+	Lo, Hi []int64
+}
+
+// contains reports whether the box contains the coordinates.
+func (b Box) contains(c []int64) bool {
+	for i := range c {
+		if c[i] < b.Lo[i] || c[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// vol returns the number of cells in the box.
+func (b Box) vol() int64 {
+	v := int64(1)
+	for i := range b.Lo {
+		v *= b.Hi[i] - b.Lo[i] + 1
+	}
+	return v
+}
+
+// intersect clips the box to o; empty result returns ok=false.
+func (b Box) intersect(o Box) (Box, bool) {
+	lo := make([]int64, len(b.Lo))
+	hi := make([]int64, len(b.Hi))
+	for i := range b.Lo {
+		lo[i] = max64(b.Lo[i], o.Lo[i])
+		hi[i] = min64(b.Hi[i], o.Hi[i])
+		if lo[i] > hi[i] {
+			return Box{}, false
+		}
+	}
+	return Box{Lo: lo, Hi: hi}, true
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TileKind distinguishes the two physical tile layouts.
+type TileKind int
+
+// Tile layouts.
+const (
+	DenseTile TileKind = iota
+	SparseTile
+)
+
+// Tile is one irregular subarray. Dense tiles store a row-major value
+// vector over their box; sparse tiles store parallel coordinate/value
+// slices sorted by linearised coordinate.
+type Tile struct {
+	Kind TileKind
+	Box  Box
+
+	dense  []float64 // DenseTile: len == Box.vol(); NaN marks empty
+	coords [][]int64 // SparseTile
+	vals   []float64
+}
+
+// Count returns the number of populated cells in the tile.
+func (t *Tile) Count() int64 {
+	if t.Kind == SparseTile {
+		return int64(len(t.vals))
+	}
+	n := int64(0)
+	for _, v := range t.dense {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *Tile) linear(c []int64) int64 {
+	idx := int64(0)
+	for i := range c {
+		idx = idx*(t.Box.Hi[i]-t.Box.Lo[i]+1) + (c[i] - t.Box.Lo[i])
+	}
+	return idx
+}
+
+// get reads one cell; ok=false for empty.
+func (t *Tile) get(c []int64) (float64, bool) {
+	if !t.Box.contains(c) {
+		return 0, false
+	}
+	if t.Kind == DenseTile {
+		v := t.dense[t.linear(c)]
+		if math.IsNaN(v) {
+			return 0, false
+		}
+		return v, true
+	}
+	target := t.linear(c)
+	i := sort.Search(len(t.coords), func(i int) bool { return t.linear(t.coords[i]) >= target })
+	if i < len(t.coords) && t.linear(t.coords[i]) == target {
+		return t.vals[i], true
+	}
+	return 0, false
+}
+
+// forEach visits populated cells. coords slice is reused; copy to keep.
+func (t *Tile) forEach(fn func(c []int64, v float64)) {
+	if t.Kind == SparseTile {
+		for i, c := range t.coords {
+			fn(c, t.vals[i])
+		}
+		return
+	}
+	nd := len(t.Box.Lo)
+	c := make([]int64, nd)
+	copy(c, t.Box.Lo)
+	for idx, v := range t.dense {
+		if !math.IsNaN(v) {
+			// delinearise idx into c
+			rem := int64(idx)
+			for i := nd - 1; i >= 0; i-- {
+				width := t.Box.Hi[i] - t.Box.Lo[i] + 1
+				c[i] = t.Box.Lo[i] + rem%width
+				rem /= width
+			}
+			fn(c, v)
+		}
+	}
+}
+
+// Fragment is one immutable batch of tiles produced by a write session.
+type Fragment struct {
+	seq   int64
+	tiles []*Tile
+}
+
+// Array is a TileDB array: schema (dimension count and domain) plus an
+// ordered list of fragments. Later fragments shadow earlier ones.
+type Array struct {
+	Name   string
+	Domain Box
+	// DensityThreshold selects tile layout at write time: boxes whose
+	// populated fraction is at least this value become dense tiles.
+	DensityThreshold float64
+
+	mu        sync.RWMutex
+	fragments []*Fragment
+	nextSeq   int64
+
+	stats Stats
+}
+
+// Stats counts engine work for the monitor and the E7 ablation.
+type Stats struct {
+	TilesRead      int64
+	TilesWritten   int64
+	Consolidations int64
+}
+
+// NewArray creates an array over the given domain.
+func NewArray(name string, domain Box, densityThreshold float64) (*Array, error) {
+	if len(domain.Lo) == 0 || len(domain.Lo) != len(domain.Hi) {
+		return nil, fmt.Errorf("tiledb: %s: malformed domain", name)
+	}
+	for i := range domain.Lo {
+		if domain.Lo[i] > domain.Hi[i] {
+			return nil, fmt.Errorf("tiledb: %s: empty domain on dim %d", name, i)
+		}
+	}
+	if densityThreshold <= 0 {
+		densityThreshold = 0.5
+	}
+	return &Array{Name: name, Domain: domain, DensityThreshold: densityThreshold}, nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (a *Array) Stats() Stats {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.stats
+}
+
+// Fragments returns the current fragment count.
+func (a *Array) Fragments() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.fragments)
+}
+
+// Cell is one coordinate/value pair for writes and reads.
+type Cell struct {
+	Coords []int64
+	Value  float64
+}
+
+// Write stores a batch of cells as one new fragment. The batch is
+// packed into a single tile whose bounding box is computed from the
+// cells; the tile goes dense when the box is sufficiently full,
+// exercising TileDB's "optimised for dense or sparse objects" choice.
+func (a *Array) Write(cells []Cell) error {
+	if len(cells) == 0 {
+		return fmt.Errorf("tiledb: %s: empty write", a.Name)
+	}
+	nd := len(a.Domain.Lo)
+	lo := make([]int64, nd)
+	hi := make([]int64, nd)
+	copy(lo, cells[0].Coords)
+	copy(hi, cells[0].Coords)
+	for _, c := range cells {
+		if len(c.Coords) != nd {
+			return fmt.Errorf("tiledb: %s: coordinate arity %d != %d", a.Name, len(c.Coords), nd)
+		}
+		if !a.Domain.contains(c.Coords) {
+			return fmt.Errorf("tiledb: %s: coordinate %v outside domain", a.Name, c.Coords)
+		}
+		for i := range c.Coords {
+			lo[i] = min64(lo[i], c.Coords[i])
+			hi[i] = max64(hi[i], c.Coords[i])
+		}
+	}
+	box := Box{Lo: lo, Hi: hi}
+	tile := a.packTile(box, cells)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextSeq++
+	a.fragments = append(a.fragments, &Fragment{seq: a.nextSeq, tiles: []*Tile{tile}})
+	a.stats.TilesWritten++
+	return nil
+}
+
+func (a *Array) packTile(box Box, cells []Cell) *Tile {
+	density := float64(len(cells)) / float64(box.vol())
+	if density >= a.DensityThreshold && box.vol() < (1<<28) {
+		t := &Tile{Kind: DenseTile, Box: box, dense: make([]float64, box.vol())}
+		for i := range t.dense {
+			t.dense[i] = math.NaN()
+		}
+		for _, c := range cells {
+			t.dense[t.linear(c.Coords)] = c.Value
+		}
+		return t
+	}
+	t := &Tile{Kind: SparseTile, Box: box}
+	sorted := make([]Cell, len(cells))
+	copy(sorted, cells)
+	tmp := &Tile{Box: box}
+	// Stable sort so that, among duplicate coordinates, batch order is
+	// preserved and the dedup below keeps the last write.
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return tmp.linear(sorted[i].Coords) < tmp.linear(sorted[j].Coords)
+	})
+	// Deduplicate: last write in the batch wins.
+	for i, c := range sorted {
+		if i+1 < len(sorted) && tmp.linear(sorted[i+1].Coords) == tmp.linear(c.Coords) {
+			continue
+		}
+		cc := make([]int64, len(c.Coords))
+		copy(cc, c.Coords)
+		t.coords = append(t.coords, cc)
+		t.vals = append(t.vals, c.Value)
+	}
+	return t
+}
+
+// Read returns the populated cells inside the subarray box, with later
+// fragments shadowing earlier ones.
+func (a *Array) Read(sub Box) ([]Cell, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if len(sub.Lo) != len(a.Domain.Lo) {
+		return nil, fmt.Errorf("tiledb: %s: subarray arity mismatch", a.Name)
+	}
+	type slot struct {
+		seq int64
+		v   float64
+	}
+	merged := map[string]slot{}
+	coordOf := map[string][]int64{}
+	for _, f := range a.fragments {
+		for _, t := range f.tiles {
+			if _, ok := t.Box.intersect(sub); !ok {
+				continue
+			}
+			a.stats.TilesRead++
+			t.forEach(func(c []int64, v float64) {
+				if !sub.contains(c) {
+					return
+				}
+				k := coordKey(c)
+				if prev, ok := merged[k]; !ok || f.seq > prev.seq {
+					merged[k] = slot{seq: f.seq, v: v}
+					if !ok {
+						cc := make([]int64, len(c))
+						copy(cc, c)
+						coordOf[k] = cc
+					}
+				}
+			})
+		}
+	}
+	out := make([]Cell, 0, len(merged))
+	for k, s := range merged {
+		out = append(out, Cell{Coords: coordOf[k], Value: s.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return coordKey(out[i].Coords) < coordKey(out[j].Coords) })
+	return out, nil
+}
+
+func coordKey(c []int64) string {
+	b := make([]byte, 0, len(c)*8)
+	for _, v := range c {
+		u := uint64(v) ^ (1 << 63) // order-preserving for signed ints
+		for s := 56; s >= 0; s -= 8 {
+			b = append(b, byte(u>>uint(s)))
+		}
+	}
+	return string(b)
+}
+
+// Consolidate merges all fragments into one, discarding shadowed cells.
+// This is TileDB's fragment-compaction operation.
+func (a *Array) Consolidate() error {
+	cells, err := a.Read(a.Domain)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Consolidations++
+	if len(cells) == 0 {
+		a.fragments = nil
+		return nil
+	}
+	tile := a.packTile(boundingBox(cells), cells)
+	a.nextSeq++
+	a.fragments = []*Fragment{{seq: a.nextSeq, tiles: []*Tile{tile}}}
+	return nil
+}
+
+func boundingBox(cells []Cell) Box {
+	nd := len(cells[0].Coords)
+	lo := make([]int64, nd)
+	hi := make([]int64, nd)
+	copy(lo, cells[0].Coords)
+	copy(hi, cells[0].Coords)
+	for _, c := range cells {
+		for i := range c.Coords {
+			lo[i] = min64(lo[i], c.Coords[i])
+			hi[i] = max64(hi[i], c.Coords[i])
+		}
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// ForEachTile runs fn over every live tile. This is the tight-coupling
+// hook (§2.4): the sparse linear-algebra kernels iterate tiles in place
+// with no format conversion, versus the loose path that exports to a
+// relation first.
+func (a *Array) ForEachTile(fn func(t *Tile)) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, f := range a.fragments {
+		for _, t := range f.tiles {
+			a.stats.TilesRead++
+			fn(t)
+		}
+	}
+}
+
+// SpMV computes y = A·x for a 2-D array holding a sparse matrix, using
+// per-tile iteration — the tightly coupled kernel.
+func (a *Array) SpMV(x []float64) ([]float64, error) {
+	if len(a.Domain.Lo) != 2 {
+		return nil, fmt.Errorf("tiledb: %s: SpMV requires a 2-D array", a.Name)
+	}
+	rows := a.Domain.Hi[0] - a.Domain.Lo[0] + 1
+	cols := a.Domain.Hi[1] - a.Domain.Lo[1] + 1
+	if int64(len(x)) != cols {
+		return nil, fmt.Errorf("tiledb: %s: x has %d entries, want %d", a.Name, len(x), cols)
+	}
+	y := make([]float64, rows)
+	rowLo, colLo := a.Domain.Lo[0], a.Domain.Lo[1]
+	a.ForEachTile(func(t *Tile) {
+		t.forEach(func(c []int64, v float64) {
+			y[c[0]-rowLo] += v * x[c[1]-colLo]
+		})
+	})
+	return y, nil
+}
+
+// Get reads a single cell across fragments (newest wins).
+func (a *Array) Get(coords []int64) (float64, bool, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if !a.Domain.contains(coords) {
+		return 0, false, fmt.Errorf("tiledb: %s: coordinate %v outside domain", a.Name, coords)
+	}
+	for i := len(a.fragments) - 1; i >= 0; i-- {
+		for _, t := range a.fragments[i].tiles {
+			if v, ok := t.get(coords); ok {
+				return v, true, nil
+			}
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,233 @@
+package tiledb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mk2D(t *testing.T, rows, cols int64, density float64) *Array {
+	t.Helper()
+	a, err := NewArray("m", Box{Lo: []int64{0, 0}, Hi: []int64{rows - 1, cols - 1}}, density)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray("x", Box{}, 0.5); err == nil {
+		t.Error("empty domain should fail")
+	}
+	if _, err := NewArray("x", Box{Lo: []int64{5}, Hi: []int64{2}}, 0.5); err == nil {
+		t.Error("inverted domain should fail")
+	}
+	if _, err := NewArray("x", Box{Lo: []int64{0}, Hi: []int64{2, 3}}, 0.5); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestWriteReadDense(t *testing.T) {
+	a := mk2D(t, 4, 4, 0.5)
+	var cells []Cell
+	for r := int64(0); r < 4; r++ {
+		for c := int64(0); c < 4; c++ {
+			cells = append(cells, Cell{Coords: []int64{r, c}, Value: float64(r*4 + c)})
+		}
+	}
+	if err := a.Write(cells); err != nil {
+		t.Fatal(err)
+	}
+	// Fully populated box → dense tile.
+	a.ForEachTile(func(tl *Tile) {
+		if tl.Kind != DenseTile {
+			t.Error("full write should pack a dense tile")
+		}
+	})
+	got, err := a.Read(Box{Lo: []int64{1, 1}, Hi: []int64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("subarray read: %d cells", len(got))
+	}
+	v, ok, err := a.Get([]int64{2, 3})
+	if err != nil || !ok || v != 11 {
+		t.Errorf("Get = %v %v %v", v, ok, err)
+	}
+}
+
+func TestWriteSparseTileChoice(t *testing.T) {
+	a := mk2D(t, 1000, 1000, 0.5)
+	cells := []Cell{
+		{Coords: []int64{0, 0}, Value: 1},
+		{Coords: []int64{999, 999}, Value: 2},
+	}
+	if err := a.Write(cells); err != nil {
+		t.Fatal(err)
+	}
+	a.ForEachTile(func(tl *Tile) {
+		if tl.Kind != SparseTile {
+			t.Error("sparse write should pack a sparse tile")
+		}
+		if tl.Count() != 2 {
+			t.Errorf("tile count = %d", tl.Count())
+		}
+	})
+}
+
+func TestWriteValidation(t *testing.T) {
+	a := mk2D(t, 4, 4, 0.5)
+	if err := a.Write(nil); err == nil {
+		t.Error("empty write should fail")
+	}
+	if err := a.Write([]Cell{{Coords: []int64{9, 9}, Value: 1}}); err == nil {
+		t.Error("out-of-domain write should fail")
+	}
+	if err := a.Write([]Cell{{Coords: []int64{1}, Value: 1}}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestFragmentShadowing(t *testing.T) {
+	a := mk2D(t, 4, 4, 0.9)
+	_ = a.Write([]Cell{{Coords: []int64{1, 1}, Value: 10}})
+	_ = a.Write([]Cell{{Coords: []int64{1, 1}, Value: 20}})
+	if a.Fragments() != 2 {
+		t.Fatalf("fragments = %d", a.Fragments())
+	}
+	v, ok, _ := a.Get([]int64{1, 1})
+	if !ok || v != 20 {
+		t.Errorf("latest fragment should win: %v %v", v, ok)
+	}
+	cells, _ := a.Read(a.Domain)
+	if len(cells) != 1 || cells[0].Value != 20 {
+		t.Errorf("read after shadowing: %v", cells)
+	}
+}
+
+func TestConsolidate(t *testing.T) {
+	a := mk2D(t, 8, 8, 0.9)
+	for i := int64(0); i < 8; i++ {
+		_ = a.Write([]Cell{{Coords: []int64{i, i}, Value: float64(i)}})
+	}
+	if a.Fragments() != 8 {
+		t.Fatalf("fragments = %d", a.Fragments())
+	}
+	before, _ := a.Read(a.Domain)
+	if err := a.Consolidate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fragments() != 1 {
+		t.Errorf("fragments after consolidate = %d", a.Fragments())
+	}
+	after, _ := a.Read(a.Domain)
+	if len(before) != len(after) {
+		t.Fatalf("consolidation changed cardinality: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].Value != after[i].Value {
+			t.Errorf("cell %d changed: %v vs %v", i, before[i], after[i])
+		}
+	}
+	if a.Stats().Consolidations != 1 {
+		t.Errorf("stats consolidations = %d", a.Stats().Consolidations)
+	}
+}
+
+func TestConsolidatePreservesShadowing(t *testing.T) {
+	a := mk2D(t, 4, 4, 0.9)
+	_ = a.Write([]Cell{{Coords: []int64{0, 0}, Value: 1}})
+	_ = a.Write([]Cell{{Coords: []int64{0, 0}, Value: 2}})
+	_ = a.Consolidate()
+	v, ok, _ := a.Get([]int64{0, 0})
+	if !ok || v != 2 {
+		t.Errorf("shadowed value after consolidate: %v", v)
+	}
+}
+
+func TestSpMV(t *testing.T) {
+	// [1 0 2; 0 3 0; 4 0 5] · [1 2 3] = [7, 6, 19]
+	a := mk2D(t, 3, 3, 0.9)
+	_ = a.Write([]Cell{
+		{Coords: []int64{0, 0}, Value: 1}, {Coords: []int64{0, 2}, Value: 2},
+		{Coords: []int64{1, 1}, Value: 3},
+		{Coords: []int64{2, 0}, Value: 4}, {Coords: []int64{2, 2}, Value: 5},
+	})
+	y, err := a.SpMV([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 6, 19}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	if _, err := a.SpMV([]float64{1}); err == nil {
+		t.Error("wrong x length should fail")
+	}
+	one, _ := NewArray("v", Box{Lo: []int64{0}, Hi: []int64{3}}, 0.5)
+	if _, err := one.SpMV([]float64{1, 2, 3, 4}); err == nil {
+		t.Error("1-D SpMV should fail")
+	}
+}
+
+func TestSpMVMatchesDenseReference(t *testing.T) {
+	// Property: SpMV over random sparse matrices matches a dense loop.
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		const n = 10
+		a, _ := NewArray("m", Box{Lo: []int64{0, 0}, Hi: []int64{n - 1, n - 1}}, 0.5)
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		var cells []Cell
+		rng := seed
+		next := func() int64 { rng = (rng*6364136223846793005 + 1442695040888963407) & 0x7fffffff; return rng }
+		for k := 0; k < 25; k++ {
+			r, c := next()%n, next()%n
+			v := float64(next()%100) / 10
+			dense[r][c] = v
+			cells = append(cells, Cell{Coords: []int64{r, c}, Value: v})
+		}
+		if err := a.Write(cells); err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(next()%10) / 2
+		}
+		y, err := a.SpMV(x)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			wantY := 0.0
+			for j := 0; j < n; j++ {
+				wantY += dense[i][j] * x[j]
+			}
+			if math.Abs(y[i]-wantY) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadOutsidePopulatedArea(t *testing.T) {
+	a := mk2D(t, 100, 100, 0.5)
+	_ = a.Write([]Cell{{Coords: []int64{5, 5}, Value: 1}})
+	cells, err := a.Read(Box{Lo: []int64{50, 50}, Hi: []int64{60, 60}})
+	if err != nil || len(cells) != 0 {
+		t.Errorf("empty region read: %v %v", cells, err)
+	}
+	_, ok, _ := a.Get([]int64{6, 6})
+	if ok {
+		t.Error("unwritten cell should be empty")
+	}
+}

@@ -1,0 +1,201 @@
+package tupleware
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func genData(n int, width int) []Row {
+	data := make([]Row, n)
+	for i := range data {
+		r := make(Row, width)
+		for j := range r {
+			r[j] = float64((i*31+j*17)%100) / 10
+		}
+		data[i] = r
+	}
+	return data
+}
+
+func sumPipeline() *Pipeline {
+	return NewPipeline().
+		Map(func(r Row) Row {
+			r[0] = r[0] * 2
+			return r
+		}, UDFStats{EstCyclesPerCall: 10}).
+		Filter(func(r Row) bool { return r[0] > 2 }, UDFStats{EstCyclesPerCall: 5}).
+		Reduce(
+			func() Row { return Row{0, 0} }, // sum, count
+			func(acc, r Row) Row { acc[0] += r[0]; acc[1]++; return acc },
+			func(a, b Row) Row { a[0] += b[0]; a[1] += b[1]; return a },
+		)
+}
+
+func TestEmptyPipelineRejected(t *testing.T) {
+	if _, _, err := NewPipeline().RunCompiled(nil); err == nil {
+		t.Error("empty pipeline should fail")
+	}
+	p := &Pipeline{reduce: func(a, b Row) Row { return a }}
+	if _, _, err := p.RunCompiled(nil); err == nil {
+		t.Error("reduce without init/combine should fail")
+	}
+}
+
+func TestCompiledEqualsStaged(t *testing.T) {
+	data := genData(1000, 4)
+	p := sumPipeline()
+	cAcc, _, err := p.RunCompiled(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAcc, _, err := p.RunStaged(data, DefaultStagedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cAcc[0]-sAcc[0]) > 1e-6 || cAcc[1] != sAcc[1] {
+		t.Errorf("compiled %v != staged %v", cAcc, sAcc)
+	}
+}
+
+func TestMapOnlyPipeline(t *testing.T) {
+	data := genData(100, 2)
+	p := NewPipeline().Map(func(r Row) Row { r[1] = r[0] + 1; return r }, UDFStats{EstCyclesPerCall: 1})
+	_, outC, err := p.RunCompiled(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outS, err := p.RunStaged(data, StagedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outC) != 100 || len(outS) != 100 {
+		t.Fatalf("lengths: %d %d", len(outC), len(outS))
+	}
+	for i := range outC {
+		if outC[i][1] != outS[i][1] || outC[i][1] != outC[i][0]+1 {
+			t.Errorf("row %d: %v vs %v", i, outC[i], outS[i])
+		}
+	}
+	// Inputs must not be mutated by either mode.
+	if data[0][1] == data[0][0]+1 && data[0][1] != 0 {
+		fresh := genData(100, 2)
+		if data[0][1] != fresh[0][1] {
+			t.Error("RunCompiled mutated input data")
+		}
+	}
+}
+
+func TestFilterDropsRows(t *testing.T) {
+	data := genData(100, 1)
+	p := NewPipeline().Filter(func(r Row) bool { return r[0] >= 5 }, UDFStats{EstCyclesPerCall: 1})
+	_, out, err := p.RunCompiled(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range data {
+		if r[0] >= 5 {
+			want++
+		}
+	}
+	if len(out) != want {
+		t.Errorf("filtered %d rows, want %d", len(out), want)
+	}
+}
+
+func TestParallelismHeuristic(t *testing.T) {
+	cheap := NewPipeline().Map(func(r Row) Row { return r }, UDFStats{EstCyclesPerCall: 1})
+	if got := cheap.parallelism(100); got != 1 {
+		t.Errorf("cheap pipeline parallelism = %d, want 1", got)
+	}
+	pricey := NewPipeline().Map(func(r Row) Row { return r }, UDFStats{EstCyclesPerCall: 1_000_000})
+	if got := pricey.parallelism(1000); got < 1 {
+		t.Errorf("expensive pipeline parallelism = %d", got)
+	}
+	if got := pricey.parallelism(2); got > 2 {
+		t.Errorf("parallelism exceeds data size: %d", got)
+	}
+}
+
+func TestCompiledEqualsStagedProperty(t *testing.T) {
+	// Property: for random thresholds, both modes agree on sum and count.
+	f := func(thrRaw int8) bool {
+		thr := float64(thrRaw) / 13
+		data := genData(200, 2)
+		p := NewPipeline().
+			Map(func(r Row) Row { r[0] += r[1]; return r }, UDFStats{EstCyclesPerCall: 3}).
+			Filter(func(r Row) bool { return r[0] > thr }, UDFStats{EstCyclesPerCall: 1}).
+			Reduce(
+				func() Row { return Row{0, 0} },
+				func(acc, r Row) Row { acc[0] += r[0]; acc[1]++; return acc },
+				func(a, b Row) Row { a[0] += b[0]; a[1] += b[1]; return a },
+			)
+		c, _, err1 := p.RunCompiled(data)
+		s, _, err2 := p.RunStaged(data, StagedConfig{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(c[0]-s[0]) < 1e-6 && c[1] == s[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripPreservesValues(t *testing.T) {
+	rows := []Row{{1.5, -2.25, math.Pi}, {0, math.Inf(1)}}
+	got := roundTrip(rows)
+	for i := range rows {
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Errorf("roundTrip[%d][%d] = %v, want %v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestKMeansStylePipeline(t *testing.T) {
+	// The paper motivates Tupleware with ML workloads; run one k-means
+	// assignment step as a pipeline and check centroid accumulation.
+	centroids := []Row{{0, 0}, {10, 10}}
+	data := []Row{{1, 1}, {2, 2}, {9, 9}, {11, 11}}
+	assign := func(r Row) Row {
+		best, bestD := 0, math.Inf(1)
+		for i, c := range centroids {
+			d := (r[0]-c[0])*(r[0]-c[0]) + (r[1]-c[1])*(r[1]-c[1])
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		return Row{r[0], r[1], float64(best)}
+	}
+	p := NewPipeline().
+		Map(assign, UDFStats{EstCyclesPerCall: 50}).
+		Reduce(
+			func() Row { return Row{0, 0, 0, 0, 0, 0} }, // sumx0,sumy0,n0,sumx1,sumy1,n1
+			func(acc, r Row) Row {
+				k := int(r[2]) * 3
+				acc[k] += r[0]
+				acc[k+1] += r[1]
+				acc[k+2]++
+				return acc
+			},
+			func(a, b Row) Row {
+				for i := range a {
+					a[i] += b[i]
+				}
+				return a
+			},
+		)
+	acc, _, err := p.RunCompiled(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc[2] != 2 || acc[5] != 2 {
+		t.Errorf("cluster sizes: %v", acc)
+	}
+	if acc[0] != 3 || acc[3] != 20 {
+		t.Errorf("cluster sums: %v", acc)
+	}
+}
