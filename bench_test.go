@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -205,6 +206,79 @@ func BenchmarkE2_CastBinaryVsCSV(b *testing.B) {
 				p.Deregister(res.Target)
 			}
 		})
+	}
+}
+
+// e2Relation builds the E2-shaped (int, string, float) relation used by
+// the codec and pipeline benchmarks.
+func e2Relation(rows int) *engine.Relation {
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("id", engine.TypeInt), engine.Col("name", engine.TypeString),
+		engine.Col("score", engine.TypeFloat)))
+	for i := 0; i < rows; i++ {
+		_ = rel.Append(engine.Tuple{engine.NewInt(int64(i)),
+			engine.NewString(fmt.Sprintf("row_%d", i)), engine.NewFloat(float64(i) / 3)})
+	}
+	return rel
+}
+
+// BenchmarkE2_CodecRoundTrip pins the acceptance criterion for the v2
+// codec: encode+decode of 10k rows must be ≥2x faster than the seed v1
+// codec it replaced (kept as WriteBinaryV1 for exactly this comparison).
+func BenchmarkE2_CodecRoundTrip(b *testing.B) {
+	rel := e2Relation(10_000)
+	b.Run("v2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := rel.WriteBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.ReadBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seed_v1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := rel.WriteBinaryV1(&buf); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.ReadBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE2_CastPipeline measures the full pipelined CAST (encoder and
+// decoder concurrent over a pipe) against the CSV file transport at a
+// size large enough to engage the parallel decode path.
+func BenchmarkE2_CastPipeline(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		p := core.New()
+		name := fmt.Sprintf("src%d", rows)
+		if err := p.Relational.InsertRelation(name, e2Relation(rows)); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Register(name, core.EnginePostgres, name); err != nil {
+			b.Fatal(err)
+		}
+		for label, mode := range map[string]core.CastMode{"binary": core.CastDirect, "csv_file": core.CastCSVFile} {
+			b.Run(fmt.Sprintf("%s/%d", label, rows), func(b *testing.B) {
+				tmp := b.TempDir()
+				for i := 0; i < b.N; i++ {
+					res, err := p.Cast(name, core.EngineSciDB, core.CastOptions{Mode: mode, TempDir: tmp})
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = p.ArrayStore.Remove(res.Target)
+					p.Deregister(res.Target)
+				}
+			})
+		}
 	}
 }
 

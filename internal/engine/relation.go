@@ -1,11 +1,7 @@
 package engine
 
 import (
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
-	"math"
 	"sort"
 	"strings"
 )
@@ -184,211 +180,5 @@ func (r *Relation) String() string {
 	return b.String()
 }
 
-// Binary wire format used by the direct CAST path. Layout:
-//
-//	u32 column count
-//	per column: u8 type, u16 name length, name bytes
-//	u64 tuple count
-//	per tuple, per value: u8 kind, payload (varint int / 8-byte float /
-//	  u32-prefixed string / 1-byte bool)
-//
-// The format is self-describing so the receiving engine can validate the
-// schema without a side channel, mirroring the paper's "access method
-// that knows how to read binary data in parallel directly from another
-// engine".
-
-var errCorrupt = errors.New("engine: corrupt binary relation")
-
-// WriteBinary serialises the relation to w in the direct-CAST format.
-func (r *Relation) WriteBinary(w io.Writer) error {
-	var scratch [10]byte
-	put32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := w.Write(scratch[:4])
-		return err
-	}
-	put64 := func(v uint64) error {
-		binary.LittleEndian.PutUint64(scratch[:8], v)
-		_, err := w.Write(scratch[:8])
-		return err
-	}
-	if err := put32(uint32(len(r.Schema.Columns))); err != nil {
-		return err
-	}
-	for _, c := range r.Schema.Columns {
-		if _, err := w.Write([]byte{byte(c.Type)}); err != nil {
-			return err
-		}
-		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(c.Name)))
-		if _, err := w.Write(scratch[:2]); err != nil {
-			return err
-		}
-		if _, err := io.WriteString(w, c.Name); err != nil {
-			return err
-		}
-	}
-	if err := put64(uint64(len(r.Tuples))); err != nil {
-		return err
-	}
-	for _, t := range r.Tuples {
-		for _, v := range t {
-			if _, err := w.Write([]byte{byte(v.Kind)}); err != nil {
-				return err
-			}
-			switch v.Kind {
-			case TypeNull:
-			case TypeInt:
-				n := binary.PutVarint(scratch[:], v.I)
-				if _, err := w.Write(scratch[:n]); err != nil {
-					return err
-				}
-			case TypeFloat:
-				if err := put64(math.Float64bits(v.F)); err != nil {
-					return err
-				}
-			case TypeString:
-				if err := put32(uint32(len(v.S))); err != nil {
-					return err
-				}
-				if _, err := io.WriteString(w, v.S); err != nil {
-					return err
-				}
-			case TypeBool:
-				b := byte(0)
-				if v.B {
-					b = 1
-				}
-				if _, err := w.Write([]byte{b}); err != nil {
-					return err
-				}
-			default:
-				return fmt.Errorf("engine: cannot serialise kind %v", v.Kind)
-			}
-		}
-	}
-	return nil
-}
-
-// ReadBinary deserialises a relation written by WriteBinary.
-func ReadBinary(r io.Reader) (*Relation, error) {
-	br := byteReaderFrom(r)
-	var scratch [8]byte
-	get32 := func() (uint32, error) {
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(scratch[:4]), nil
-	}
-	get64 := func() (uint64, error) {
-		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint64(scratch[:8]), nil
-	}
-	ncols, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	if ncols > 1<<16 {
-		return nil, errCorrupt
-	}
-	schema := Schema{Columns: make([]Column, ncols)}
-	for i := range schema.Columns {
-		kind, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
-			return nil, err
-		}
-		nameLen := binary.LittleEndian.Uint16(scratch[:2])
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, err
-		}
-		schema.Columns[i] = Column{Name: string(name), Type: Type(kind)}
-	}
-	ntup, err := get64()
-	if err != nil {
-		return nil, err
-	}
-	rel := NewRelation(schema)
-	if ntup < 1<<20 {
-		rel.Tuples = make([]Tuple, 0, ntup)
-	}
-	for i := uint64(0); i < ntup; i++ {
-		t := make(Tuple, ncols)
-		for j := range t {
-			kind, err := br.ReadByte()
-			if err != nil {
-				return nil, err
-			}
-			switch Type(kind) {
-			case TypeNull:
-				t[j] = Null
-			case TypeInt:
-				iv, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, err
-				}
-				t[j] = NewInt(iv)
-			case TypeFloat:
-				bits, err := get64()
-				if err != nil {
-					return nil, err
-				}
-				t[j] = NewFloat(math.Float64frombits(bits))
-			case TypeString:
-				n, err := get32()
-				if err != nil {
-					return nil, err
-				}
-				if n > 1<<28 {
-					return nil, errCorrupt
-				}
-				buf := make([]byte, n)
-				if _, err := io.ReadFull(br, buf); err != nil {
-					return nil, err
-				}
-				t[j] = NewString(string(buf))
-			case TypeBool:
-				b, err := br.ReadByte()
-				if err != nil {
-					return nil, err
-				}
-				t[j] = NewBool(b != 0)
-			default:
-				return nil, errCorrupt
-			}
-		}
-		rel.Tuples = append(rel.Tuples, t)
-	}
-	return rel, nil
-}
-
-// byteReader pairs io.Reader with io.ByteReader for binary.ReadVarint.
-type byteReader interface {
-	io.Reader
-	io.ByteReader
-}
-
-func byteReaderFrom(r io.Reader) byteReader {
-	if br, ok := r.(byteReader); ok {
-		return br
-	}
-	return &simpleByteReader{r: r}
-}
-
-type simpleByteReader struct {
-	r   io.Reader
-	buf [1]byte
-}
-
-func (s *simpleByteReader) Read(p []byte) (int, error) { return s.r.Read(p) }
-
-func (s *simpleByteReader) ReadByte() (byte, error) {
-	if _, err := io.ReadFull(s.r, s.buf[:]); err != nil {
-		return 0, err
-	}
-	return s.buf[0], nil
-}
+// The binary wire format used by the direct CAST path lives in
+// binary.go (WriteBinary / ReadBinary / ReadBinaryParallel).

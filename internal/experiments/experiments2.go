@@ -83,18 +83,22 @@ func E6AdaptivePlacement(cfg Config) (Table, error) {
 
 	const probes = 5
 	classify := monitor.ClassLinearAlgebra
+	// Like E2, probes record the best of N runs: a scheduler stall in a
+	// single rep must not swing the advisor's latency comparison.
 	measure := func() (time.Duration, error) {
-		var total time.Duration
+		best := time.Duration(1<<63 - 1)
 		for i := 0; i < probes; i++ {
 			d, err := runWorkload()
 			if err != nil {
 				return 0, err
 			}
-			info, _ := p.Lookup("waveforms")
-			p.Monitor.Record("waveforms", classify, string(info.Engine), d)
-			total += d
+			if d < best {
+				best = d
+			}
 		}
-		return total / probes, nil
+		info, _ := p.Lookup("waveforms")
+		p.Monitor.Record("waveforms", classify, string(info.Engine), best)
+		return best, nil
 	}
 
 	before, err := measure()
@@ -107,6 +111,7 @@ func E6AdaptivePlacement(cfg Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
+	bestProbe := time.Duration(1<<63 - 1)
 	for i := 0; i < probes; i++ {
 		start := time.Now()
 		a, err := p.ArrayStore.Get(probeRes.Target)
@@ -118,8 +123,11 @@ func E6AdaptivePlacement(cfg Config) (Table, error) {
 			return t, err
 		}
 		_ = analytics.PowerSpectrum(vals)
-		p.Monitor.Record("waveforms", classify, string(core.EngineSciDB), time.Since(start))
+		if d := time.Since(start); d < bestProbe {
+			bestProbe = d
+		}
 	}
+	p.Monitor.Record("waveforms", classify, string(core.EngineSciDB), bestProbe)
 	adv := p.Monitor.Advise("waveforms", string(core.EnginePostgres))
 	t.Rows = append(t.Rows, []string{"before", "postgres", ms(before), adv.Reason})
 
