@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench.sh — run the E-series experiment benchmarks plus the relational
+# executor benchmarks with -benchmem and snapshot the numbers into
+# BENCH_relational.json, so the perf trajectory is tracked PR over PR.
+#
+# Usage:
+#   ./bench.sh                # default -benchtime (stable numbers, slow)
+#   BENCHTIME=5x ./bench.sh   # quick smoke numbers
+#   OUT=snap.json ./bench.sh  # alternate output path
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_relational.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+run() {
+  local pkg="$1" pattern="$2"
+  echo ">> go test -run '^$' -bench '$pattern' -benchmem -benchtime $BENCHTIME $pkg" >&2
+  go test -run '^$' -bench "$pattern" -benchmem -benchtime "$BENCHTIME" "$pkg" | tee -a "$RAW"
+}
+
+# E-series experiment benchmarks at the repo root.
+run . 'BenchmarkE[0-9]'
+# Relational executor benchmarks: row vs vectorized, DML index path.
+run ./internal/relational 'Benchmark'
+
+# Parse `BenchmarkName  N  ns/op  B/op  allocs/op` lines into JSON.
+awk -v out="$OUT" '
+BEGIN { print "[" > out; first = 1 }
+/^Benchmark/ && NF >= 3 {
+  name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op")     ns = $i
+    if ($(i+1) == "B/op")      bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  if (!first) print "," >> out
+  first = 0
+  printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns >> out
+  if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes >> out
+  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs >> out
+  printf "}" >> out
+}
+END { print "\n]" >> out }
+' "$RAW"
+
+echo "wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT" >&2

@@ -227,6 +227,19 @@ func e2Relation(rows int) *engine.Relation {
 // codec it replaced (kept as WriteBinaryV1 for exactly this comparison).
 func BenchmarkE2_CodecRoundTrip(b *testing.B) {
 	rel := e2Relation(10_000)
+	b.Run("v2_columnar", func(b *testing.B) {
+		cb := engine.BatchFromRelation(rel)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := cb.WriteBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := engine.ReadBinaryColumnar(&buf, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("v2", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -69,6 +69,33 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 	}
 	res := CastResult{Object: object, From: info.Engine, To: to}
 
+	// Direct casts out of the relational engine move columnar end to
+	// end: the table's column cache is encoded straight to the wire and
+	// decoded straight into a ColumnBatch — no per-row Tuple boxing
+	// anywhere on the transport.
+	if opts.Mode == CastDirect && info.Engine == EnginePostgres {
+		cb, err := p.Relational.DumpBatch(info.Physical)
+		if err != nil {
+			return res, err
+		}
+		out, nbytes, err := castDirectBatch(cb)
+		if err != nil {
+			return res, err
+		}
+		res.Bytes = nbytes
+		target := opts.TargetName
+		if target == "" {
+			target = p.tempName("cast")
+		}
+		if err := p.LoadBatch(to, target, out, opts); err != nil {
+			return res, err
+		}
+		res.Target = target
+		res.Rows = out.NumRows
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
 	rel, err := p.Dump(object)
 	if err != nil {
 		return res, err
@@ -186,6 +213,49 @@ func castDirect(rel *engine.Relation) (*engine.Relation, int64, error) {
 		return nil, 0, werr
 	}
 	return out, cw.n, nil
+}
+
+// castDirectBatch is castDirect for column batches: the same concurrent
+// encode/decode over a pipe, but one wire frame decodes into one
+// columnar mini-batch, so the transport allocates per frame rather than
+// per row.
+func castDirectBatch(cb *engine.ColumnBatch) (*engine.ColumnBatch, int64, error) {
+	pr, pw := io.Pipe()
+	cw := &countingWriter{w: pw}
+	encodeErr := make(chan error, 1)
+	go func() {
+		err := cb.WriteBinary(cw)
+		pw.CloseWithError(err)
+		encodeErr <- err
+	}()
+	workers := 1
+	if cb.NumRows >= parallelCastRows {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out, err := engine.ReadBinaryColumnar(pr, workers)
+	if err != nil {
+		pr.CloseWithError(err)
+		<-encodeErr
+		return nil, 0, err
+	}
+	if werr := <-encodeErr; werr != nil {
+		return nil, 0, werr
+	}
+	return out, cw.n, nil
+}
+
+// LoadBatch materialises a column batch in the target engine — the
+// columnar ingress half of CAST. Relational targets ingest the batch
+// directly; other engines receive the arena-materialised relation (two
+// allocations for all tuples, not one per row).
+func (p *Polystore) LoadBatch(to EngineKind, name string, cb *engine.ColumnBatch, opts CastOptions) error {
+	if to == EnginePostgres {
+		if err := p.Relational.InsertBatch(name, cb); err != nil {
+			return err
+		}
+		return p.Register(name, to, name)
+	}
+	return p.Load(to, name, cb.ToRelation(), opts)
 }
 
 // Load materialises a relation as a new object in the target engine and

@@ -1,0 +1,309 @@
+package engine
+
+import "fmt"
+
+// ColumnBatch is the columnar twin of Relation: the same logical rows,
+// stored as typed column vectors with per-row null bitmaps. It is the
+// unit the vectorized relational executor operates on and the unit the
+// binary CAST codec encodes frame-by-frame, so data can move
+// scan → filter → join → wire without ever being boxed into per-row
+// Tuples.
+//
+// A ColumnBatch is append-only; consumers treat a batch they did not
+// build as immutable, which is what lets the relational engine hand out
+// its cached column representation without copying.
+type ColumnBatch struct {
+	Schema  Schema
+	Cols    []ColVec
+	NumRows int
+}
+
+// ColVec is one column vector. Kind selects the active typed slice;
+// Kind == TypeNull marks the generic fallback representation where
+// every value lives in Any (used for mixed-type columns, which the
+// vectorized executor refuses and the row-at-a-time path handles).
+// For typed vectors, a NULL row holds a zero placeholder in the typed
+// slice and has its bit set in Nulls.
+type ColVec struct {
+	Kind   Type
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Any    []Value
+	Nulls  Bitmap
+}
+
+// Bitmap is a dense bit set used for per-row NULL tracking. The zero
+// value is an empty bitmap where every Get reports false.
+type Bitmap []uint64
+
+// Get reports whether bit i is set.
+func (b Bitmap) Get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Set marks bit i, growing the bitmap as needed.
+func (b *Bitmap) Set(i int) {
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+// Empty reports whether no bit is set.
+func (b Bitmap) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewColumnBatch allocates an empty batch for the schema, with typed
+// vectors sized for capacity rows. Columns whose schema type is not one
+// of the four scalar kinds start in the generic representation.
+func NewColumnBatch(s Schema, capacity int) *ColumnBatch {
+	cb := &ColumnBatch{Schema: s, Cols: make([]ColVec, len(s.Columns))}
+	for i, c := range s.Columns {
+		cb.Cols[i] = emptyColVec(c.Type, capacity)
+	}
+	return cb
+}
+
+func emptyColVec(t Type, capacity int) ColVec {
+	switch t {
+	case TypeInt:
+		return ColVec{Kind: TypeInt, Ints: make([]int64, 0, capacity)}
+	case TypeFloat:
+		return ColVec{Kind: TypeFloat, Floats: make([]float64, 0, capacity)}
+	case TypeString:
+		return ColVec{Kind: TypeString, Strs: make([]string, 0, capacity)}
+	case TypeBool:
+		return ColVec{Kind: TypeBool, Bools: make([]bool, 0, capacity)}
+	default:
+		return ColVec{Kind: TypeNull, Any: make([]Value, 0, capacity)}
+	}
+}
+
+// BatchFromRelation converts a relation to columnar form. It never
+// fails: columns whose values stray from the schema type demote to the
+// generic representation.
+func BatchFromRelation(rel *Relation) *ColumnBatch {
+	cb := NewColumnBatch(rel.Schema, len(rel.Tuples))
+	for _, t := range rel.Tuples {
+		_ = cb.AppendTuple(t)
+	}
+	return cb
+}
+
+// AppendTuple adds one row; it must match the schema arity.
+func (cb *ColumnBatch) AppendTuple(t Tuple) error {
+	if len(t) != len(cb.Cols) {
+		return fmt.Errorf("engine: tuple arity %d != batch arity %d", len(t), len(cb.Cols))
+	}
+	row := cb.NumRows
+	for j := range cb.Cols {
+		cb.Cols[j].appendVal(row, t[j])
+	}
+	cb.NumRows++
+	return nil
+}
+
+// appendVal appends v at position row, demoting the vector to generic
+// form if v's kind does not match the vector's.
+func (c *ColVec) appendVal(row int, v Value) {
+	if c.Kind == TypeNull {
+		c.Any = append(c.Any, v)
+		return
+	}
+	if v.Kind == TypeNull {
+		c.Nulls.Set(row)
+		c.appendZero()
+		return
+	}
+	if v.Kind != c.Kind {
+		c.demote(row)
+		c.Any = append(c.Any, v)
+		return
+	}
+	switch c.Kind {
+	case TypeInt:
+		c.Ints = append(c.Ints, v.I)
+	case TypeFloat:
+		c.Floats = append(c.Floats, v.F)
+	case TypeString:
+		c.Strs = append(c.Strs, v.S)
+	case TypeBool:
+		c.Bools = append(c.Bools, v.B)
+	}
+}
+
+func (c *ColVec) appendZero() {
+	switch c.Kind {
+	case TypeInt:
+		c.Ints = append(c.Ints, 0)
+	case TypeFloat:
+		c.Floats = append(c.Floats, 0)
+	case TypeString:
+		c.Strs = append(c.Strs, "")
+	case TypeBool:
+		c.Bools = append(c.Bools, false)
+	}
+}
+
+// demote rewrites the first n typed entries into the generic Any form.
+func (c *ColVec) demote(n int) {
+	vals := make([]Value, n, n+1)
+	for i := 0; i < n; i++ {
+		vals[i] = c.Value(i)
+	}
+	*c = ColVec{Kind: TypeNull, Any: vals}
+}
+
+// Len returns the number of rows stored in the vector.
+func (c *ColVec) Len() int {
+	switch c.Kind {
+	case TypeInt:
+		return len(c.Ints)
+	case TypeFloat:
+		return len(c.Floats)
+	case TypeString:
+		return len(c.Strs)
+	case TypeBool:
+		return len(c.Bools)
+	default:
+		return len(c.Any)
+	}
+}
+
+// Value boxes the value at row i.
+func (c *ColVec) Value(i int) Value {
+	if c.Kind == TypeNull {
+		return c.Any[i]
+	}
+	if c.Nulls.Get(i) {
+		return Null
+	}
+	switch c.Kind {
+	case TypeInt:
+		return NewInt(c.Ints[i])
+	case TypeFloat:
+		return NewFloat(c.Floats[i])
+	case TypeString:
+		return NewString(c.Strs[i])
+	default:
+		return NewBool(c.Bools[i])
+	}
+}
+
+// Value boxes the value at (row, col).
+func (cb *ColumnBatch) Value(row, col int) Value {
+	return cb.Cols[col].Value(row)
+}
+
+// Row materialises row i as a freshly allocated tuple.
+func (cb *ColumnBatch) Row(i int) Tuple {
+	t := make(Tuple, len(cb.Cols))
+	for j := range cb.Cols {
+		t[j] = cb.Cols[j].Value(i)
+	}
+	return t
+}
+
+// ToRelation boxes the batch back into row form. Tuples are carved from
+// one arena, so the conversion costs two allocations plus the value
+// copies — no per-row make.
+func (cb *ColumnBatch) ToRelation() *Relation {
+	rel := NewRelation(cb.Schema)
+	ncols := len(cb.Cols)
+	rel.Tuples = make([]Tuple, cb.NumRows)
+	arena := make([]Value, cb.NumRows*ncols)
+	for i := 0; i < cb.NumRows; i++ {
+		rel.Tuples[i] = Tuple(arena[i*ncols : (i+1)*ncols : (i+1)*ncols])
+	}
+	for j := range cb.Cols {
+		c := &cb.Cols[j]
+		switch c.Kind {
+		case TypeInt:
+			for i, v := range c.Ints {
+				if !c.Nulls.Get(i) {
+					arena[i*ncols+j] = NewInt(v)
+				}
+			}
+		case TypeFloat:
+			for i, v := range c.Floats {
+				if !c.Nulls.Get(i) {
+					arena[i*ncols+j] = NewFloat(v)
+				}
+			}
+		case TypeString:
+			for i, v := range c.Strs {
+				if !c.Nulls.Get(i) {
+					arena[i*ncols+j] = NewString(v)
+				}
+			}
+		case TypeBool:
+			for i, v := range c.Bools {
+				if !c.Nulls.Get(i) {
+					arena[i*ncols+j] = NewBool(v)
+				}
+			}
+		default:
+			for i, v := range c.Any {
+				arena[i*ncols+j] = v
+			}
+		}
+	}
+	return rel
+}
+
+// AppendBatch appends all rows of src, which must have the same arity.
+// Column kinds are reconciled: if either side of a column is generic,
+// the destination column becomes generic.
+func (cb *ColumnBatch) AppendBatch(src *ColumnBatch) error {
+	if len(src.Cols) != len(cb.Cols) {
+		return fmt.Errorf("engine: batch arity %d != %d", len(src.Cols), len(cb.Cols))
+	}
+	base := cb.NumRows
+	for j := range cb.Cols {
+		dst, sc := &cb.Cols[j], &src.Cols[j]
+		if dst.Kind != TypeNull && sc.Kind != TypeNull && dst.Kind != sc.Kind {
+			dst.demote(base)
+		}
+		if dst.Kind == TypeNull {
+			for i := 0; i < src.NumRows; i++ {
+				dst.Any = append(dst.Any, sc.Value(i))
+			}
+			continue
+		}
+		if sc.Kind == TypeNull {
+			for i := 0; i < src.NumRows; i++ {
+				dst.appendVal(base+i, sc.Any[i])
+			}
+			continue
+		}
+		switch dst.Kind {
+		case TypeInt:
+			dst.Ints = append(dst.Ints, sc.Ints...)
+		case TypeFloat:
+			dst.Floats = append(dst.Floats, sc.Floats...)
+		case TypeString:
+			dst.Strs = append(dst.Strs, sc.Strs...)
+		case TypeBool:
+			dst.Bools = append(dst.Bools, sc.Bools...)
+		}
+		if !sc.Nulls.Empty() {
+			for i := 0; i < src.NumRows; i++ {
+				if sc.Nulls.Get(i) {
+					dst.Nulls.Set(base + i)
+				}
+			}
+		}
+	}
+	cb.NumRows += src.NumRows
+	return nil
+}

@@ -90,22 +90,22 @@ func appendU64(b []byte, v uint64) []byte {
 		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
-// WriteBinary serialises the relation to w in the direct-CAST v2 format:
-// the header (schema plus declared tuple count), then tuple batches
-// flushed in ~64KiB frames from a reused scratch buffer, then the
-// end-of-stream marker.
-func (r *Relation) WriteBinary(w io.Writer) error {
-	ncols := len(r.Schema.Columns)
+// writeWireHeader emits the v2 stream header — magic word, column
+// count, per-column descriptors, declared tuple count — enforcing the
+// encode-side bounds. Shared by the row and columnar encoders so the
+// header layout cannot drift between them.
+func writeWireHeader(w io.Writer, schema Schema, ntuples int) error {
+	ncols := len(schema.Columns)
 	if ncols > maxColumns {
 		return fmt.Errorf("engine: %d columns exceeds wire limit %d", ncols, maxColumns)
 	}
-	if ncols == 0 && len(r.Tuples) > maxZeroColTuples {
-		return fmt.Errorf("engine: zero-column relation of %d tuples exceeds wire limit %d", len(r.Tuples), maxZeroColTuples)
+	if ncols == 0 && ntuples > maxZeroColTuples {
+		return fmt.Errorf("engine: zero-column relation of %d tuples exceeds wire limit %d", ntuples, maxZeroColTuples)
 	}
 	head := make([]byte, 0, 64)
 	head = appendU32(head, binaryMagic)
 	head = appendU32(head, uint32(ncols))
-	for _, c := range r.Schema.Columns {
+	for _, c := range schema.Columns {
 		if len(c.Name) > maxNameLen {
 			return fmt.Errorf("engine: column name of %d bytes exceeds wire limit %d", len(c.Name), maxNameLen)
 		}
@@ -113,8 +113,17 @@ func (r *Relation) WriteBinary(w io.Writer) error {
 		head = appendU16(head, uint16(len(c.Name)))
 		head = append(head, c.Name...)
 	}
-	head = appendU64(head, uint64(len(r.Tuples)))
-	if _, err := w.Write(head); err != nil {
+	head = appendU64(head, uint64(ntuples))
+	_, err := w.Write(head)
+	return err
+}
+
+// WriteBinary serialises the relation to w in the direct-CAST v2 format:
+// the header (schema plus declared tuple count), then tuple batches
+// flushed in ~64KiB frames from a reused scratch buffer, then the
+// end-of-stream marker.
+func (r *Relation) WriteBinary(w io.Writer) error {
+	if err := writeWireHeader(w, r.Schema, len(r.Tuples)); err != nil {
 		return err
 	}
 

@@ -58,42 +58,122 @@ func BenchmarkPointLookupPK(b *testing.B) {
 	}
 }
 
+// benchRowVec runs the query under both executors (row-at-a-time and
+// vectorized) at the given table size — the acceptance comparison for
+// the columnar executor. The vectorized run warms the column cache
+// outside the timer, matching the steady state of a resident table.
+func benchRowVec(b *testing.B, rows int, prep func(b *testing.B, db *DB), q string) {
+	for _, mode := range []string{"row", "vec"} {
+		b.Run(mode, func(b *testing.B) {
+			db := benchDB(b, rows)
+			if prep != nil {
+				prep(b, db)
+			}
+			db.SetVectorized(mode == "vec")
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFilterScan(b *testing.B) {
-	db := benchDB(b, 10_000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT id FROM t WHERE v > 700.0 AND grp < 25`); err != nil {
-			b.Fatal(err)
-		}
+	for _, rows := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			benchRowVec(b, rows, nil, `SELECT id FROM t WHERE v > 700.0 AND grp < 25`)
+		})
 	}
 }
 
 func BenchmarkGroupByAggregate(b *testing.B) {
-	db := benchDB(b, 10_000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT grp, COUNT(*), AVG(v), MAX(v) FROM t GROUP BY grp`); err != nil {
-			b.Fatal(err)
-		}
+	for _, rows := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			benchRowVec(b, rows, nil, `SELECT grp, COUNT(*), AVG(v), MAX(v) FROM t GROUP BY grp`)
+		})
 	}
 }
 
 func BenchmarkHashJoin(b *testing.B) {
-	db := benchDB(b, 5_000)
-	if _, err := db.Execute(`CREATE TABLE g (grp INT PRIMARY KEY, name TEXT)`); err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < 50; i++ {
-		if _, err := db.Execute(fmt.Sprintf(`INSERT INTO g VALUES (%d, 'group_%d')`, i, i)); err != nil {
+	prep := func(b *testing.B, db *DB) {
+		if _, err := db.Execute(`CREATE TABLE g (grp INT PRIMARY KEY, name TEXT)`); err != nil {
 			b.Fatal(err)
 		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(`SELECT g.name, COUNT(*) FROM t JOIN g ON t.grp = g.grp GROUP BY g.name`); err != nil {
-			b.Fatal(err)
+		for i := 0; i < 50; i++ {
+			if _, err := db.Execute(fmt.Sprintf(`INSERT INTO g VALUES (%d, 'group_%d')`, i, i)); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	for _, rows := range []int{5_000, 100_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			benchRowVec(b, rows, prep, `SELECT g.name, COUNT(*) FROM t JOIN g ON t.grp = g.grp GROUP BY g.name`)
+		})
+	}
+}
+
+// BenchmarkUpdateByPK and BenchmarkDeleteByPK pin the DML index fast
+// path: a PK-equality predicate routes through the hash index instead
+// of full-scanning, so the indexed variants stay flat as the table
+// grows while the unindexed ones scale with it.
+func BenchmarkUpdateByPK(b *testing.B) {
+	run := func(b *testing.B, pk string) {
+		db := NewDB()
+		if _, err := db.Execute(fmt.Sprintf(`CREATE TABLE u (id INT%s, v FLOAT)`, pk)); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 100_000; i++ {
+			db.mu.Lock()
+			tbl, _ := db.table("u")
+			if err := tbl.insert(engine.Tuple{engine.NewInt(int64(i)), engine.NewFloat(float64(i))}); err != nil {
+				db.mu.Unlock()
+				b.Fatal(err)
+			}
+			db.mu.Unlock()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Execute(`UPDATE u SET v = 1.5 WHERE id = 50000`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pk_indexed", func(b *testing.B) { run(b, " PRIMARY KEY") })
+	b.Run("full_scan", func(b *testing.B) { run(b, "") })
+}
+
+func BenchmarkDeleteByPK(b *testing.B) {
+	run := func(b *testing.B, pk string) {
+		db := NewDB()
+		if _, err := db.Execute(fmt.Sprintf(`CREATE TABLE u (id INT%s, v FLOAT)`, pk)); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 100_000; i++ {
+			db.mu.Lock()
+			tbl, _ := db.table("u")
+			if err := tbl.insert(engine.Tuple{engine.NewInt(int64(i)), engine.NewFloat(float64(i))}); err != nil {
+				db.mu.Unlock()
+				b.Fatal(err)
+			}
+			db.mu.Unlock()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Delete a missing key: exercises the lookup path without
+			// mutating the table between iterations.
+			if _, err := db.Execute(`DELETE FROM u WHERE id = -1`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pk_indexed", func(b *testing.B) { run(b, " PRIMARY KEY") })
+	b.Run("full_scan", func(b *testing.B) { run(b, "") })
 }
 
 func BenchmarkSecondaryIndexVsScan(b *testing.B) {

@@ -179,21 +179,7 @@ func (db *DB) executeUpdate(s Update) (int, error) {
 	sort.Slice(sets, func(i, j int) bool { return sets[i].col < sets[j].col })
 	n := 0
 	// Collect matching slots first so SET expressions see pre-update values.
-	var slots []int
-	err = t.scan(func(slot int, row engine.Tuple) error {
-		db.stats.RowsScanned++
-		if where != nil {
-			v, err := where(row)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() || !v.AsBool() {
-				return nil
-			}
-		}
-		slots = append(slots, slot)
-		return nil
-	})
+	slots, err := db.collectMatchingSlots(t, rs, s.Where, where)
 	if err != nil {
 		return 0, err
 	}
@@ -214,8 +200,57 @@ func (db *DB) executeUpdate(s Update) (int, error) {
 		}
 		n++
 	}
-	db.stats.Queries++
+	db.stats.queries.Add(1)
 	return n, nil
+}
+
+// collectMatchingSlots returns the slots whose live rows satisfy WHERE,
+// routing through an index when the predicate pins an indexed column to
+// a literal — the same fast path ExecuteSelect uses, so a PK-equality
+// UPDATE or DELETE no longer full-scans. The full predicate is still
+// re-applied to the candidates (the equality may be one AND-branch of a
+// wider condition, and secondary indexes are non-unique).
+func (db *DB) collectMatchingSlots(t *Table, rs rowSchema, whereExpr Expr, where evaluator) ([]int, error) {
+	if whereExpr != nil {
+		if ci, v, ok := indexableEquality(whereExpr, rs, t); ok {
+			if cand, hit := t.lookup(ci, v); hit {
+				db.stats.rowsScanned.Add(int64(len(cand)))
+				slots := make([]int, 0, len(cand))
+				for _, slot := range cand {
+					if t.deleted[slot] {
+						continue
+					}
+					if where != nil {
+						val, err := where(t.rows[slot])
+						if err != nil {
+							return nil, err
+						}
+						if val.IsNull() || !val.AsBool() {
+							continue
+						}
+					}
+					slots = append(slots, slot)
+				}
+				return slots, nil
+			}
+		}
+	}
+	var slots []int
+	err := t.scan(func(slot int, row engine.Tuple) error {
+		db.stats.rowsScanned.Add(1)
+		if where != nil {
+			v, err := where(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() || !v.AsBool() {
+				return nil
+			}
+		}
+		slots = append(slots, slot)
+		return nil
+	})
+	return slots, err
 }
 
 func (db *DB) executeDelete(s Delete) (int, error) {
@@ -233,43 +268,63 @@ func (db *DB) executeDelete(s Delete) (int, error) {
 			return 0, err
 		}
 	}
-	var slots []int
-	err = t.scan(func(slot int, row engine.Tuple) error {
-		db.stats.RowsScanned++
-		if where != nil {
-			v, err := where(row)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() || !v.AsBool() {
-				return nil
-			}
-		}
-		slots = append(slots, slot)
-		return nil
-	})
+	slots, err := db.collectMatchingSlots(t, rs, s.Where, where)
 	if err != nil {
 		return 0, err
 	}
 	for _, slot := range slots {
 		t.deleteSlot(slot)
 	}
-	db.stats.Queries++
+	db.stats.queries.Add(1)
 	return len(slots), nil
+}
+
+// rowset is the working set flowing through the SELECT pipeline:
+// either a column batch plus selection vector (the vectorized executor)
+// or materialised tuples (the row-at-a-time path and every fallback).
+type rowset struct {
+	rs     rowSchema
+	batch  *engine.ColumnBatch
+	sel    []int32 // selection into batch; nil = all rows
+	rows   []engine.Tuple
+	isRows bool
+}
+
+// selection returns the current selection vector, materialising the
+// identity selection on first use.
+func (w *rowset) selection() []int32 {
+	if w.sel == nil {
+		w.sel = identitySel(w.batch.NumRows)
+	}
+	return w.sel
+}
+
+// materialize converts the working set to row form; the bridge from the
+// vectorized pipeline into the row-at-a-time fallback.
+func (w *rowset) materialize() []engine.Tuple {
+	if !w.isRows {
+		if w.batch != nil {
+			w.rows = materializeRows(w.batch, w.sel)
+		}
+		w.isRows = true
+		w.batch, w.sel = nil, nil
+	}
+	return w.rows
 }
 
 // ExecuteSelect runs a parsed SELECT.
 func (db *DB) ExecuteSelect(s *Select) (*engine.Relation, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	db.stats.Queries++
+	db.stats.queries.Add(1)
 
-	// 1. Build the working row set (FROM + JOINs), or a single empty row
-	// for table-less SELECTs.
-	var rows []engine.Tuple
-	var rs rowSchema
+	// 1. Build the working set (FROM + JOINs), or a single empty row for
+	// table-less SELECTs. Base scans come back columnar when the
+	// vectorized executor is on; any stage the vectorizer cannot compile
+	// materialises rows and continues on the row path.
+	var ws rowset
 	if s.From == nil {
-		rows = []engine.Tuple{{}}
+		ws.rows, ws.isRows = []engine.Tuple{{}}, true
 	} else {
 		base, err := db.table(s.From.Name)
 		if err != nil {
@@ -279,11 +334,8 @@ func (db *DB) ExecuteSelect(s *Select) (*engine.Relation, error) {
 		if alias == "" {
 			alias = base.Name
 		}
-		rs = baseRowSchema(alias, base.Schema)
-		rows, err = db.scanBase(base, rs, s)
-		if err != nil {
-			return nil, err
-		}
+		ws.rs = baseRowSchema(alias, base.Schema)
+		db.scanBase(base, &ws, s)
 		for _, j := range s.Joins {
 			jt, err := db.table(j.Table.Name)
 			if err != nil {
@@ -293,8 +345,7 @@ func (db *DB) ExecuteSelect(s *Select) (*engine.Relation, error) {
 			if jalias == "" {
 				jalias = jt.Name
 			}
-			rows, rs, err = db.executeJoin(rows, rs, jt, jalias, j)
-			if err != nil {
+			if err := db.joinStep(&ws, jt, jalias, j); err != nil {
 				return nil, err
 			}
 		}
@@ -302,21 +353,9 @@ func (db *DB) ExecuteSelect(s *Select) (*engine.Relation, error) {
 
 	// 2. WHERE.
 	if s.Where != nil {
-		where, err := compileExpr(s.Where, rs, nil)
-		if err != nil {
+		if err := db.applyWhere(&ws, s.Where); err != nil {
 			return nil, err
 		}
-		kept := rows[:0]
-		for _, row := range rows {
-			v, err := where(row)
-			if err != nil {
-				return nil, err
-			}
-			if !v.IsNull() && v.AsBool() {
-				kept = append(kept, row)
-			}
-		}
-		rows = kept
 	}
 
 	// 3. Grouped vs plain projection.
@@ -329,15 +368,12 @@ func (db *DB) ExecuteSelect(s *Select) (*engine.Relation, error) {
 			}
 		}
 	}
-	if grouped && s.Having == nil && len(s.GroupBy) == 0 {
-		// fine: single-group aggregation
-	}
 	var out *engine.Relation
 	var err error
 	if grouped {
-		out, err = db.projectGrouped(s, rows, rs)
+		out, err = db.projectGrouped(s, &ws)
 	} else {
-		out, err = db.projectPlain(s, rows, rs)
+		out, err = db.projectPlain(s, &ws)
 	}
 	if err != nil {
 		return nil, err
@@ -399,11 +435,12 @@ func (db *DB) ExecuteSelect(s *Select) (*engine.Relation, error) {
 	return out, nil
 }
 
-// scanBase reads the base table, using an index when WHERE contains a
-// top-level equality between an indexed column and a literal.
-func (db *DB) scanBase(t *Table, rs rowSchema, s *Select) ([]engine.Tuple, error) {
+// scanBase reads the base table into the working set: via an index when
+// WHERE pins an indexed column to a literal, else as the cached column
+// batch (vectorized executor) or a row scan.
+func (db *DB) scanBase(t *Table, ws *rowset, s *Select) {
 	if len(s.Joins) == 0 && s.Where != nil {
-		if ci, v, ok := indexableEquality(s.Where, rs, t); ok {
+		if ci, v, ok := indexableEquality(s.Where, ws.rs, t); ok {
 			if slots, hit := t.lookup(ci, v); hit {
 				rows := make([]engine.Tuple, 0, len(slots))
 				for _, slot := range slots {
@@ -411,18 +448,82 @@ func (db *DB) scanBase(t *Table, rs rowSchema, s *Select) ([]engine.Tuple, error
 						rows = append(rows, t.rows[slot])
 					}
 				}
-				db.stats.RowsScanned += int64(len(rows))
-				return rows, nil
+				db.stats.rowsScanned.Add(int64(len(rows)))
+				ws.rows, ws.isRows = rows, true
+				return
 			}
 		}
+	}
+	if db.vectorized {
+		ws.batch = t.columnBatch()
+		db.stats.rowsScanned.Add(int64(ws.batch.NumRows))
+		return
 	}
 	rows := make([]engine.Tuple, 0, t.live)
 	_ = t.scan(func(_ int, row engine.Tuple) error {
 		rows = append(rows, row)
 		return nil
 	})
-	db.stats.RowsScanned += int64(len(rows))
-	return rows, nil
+	db.stats.rowsScanned.Add(int64(len(rows)))
+	ws.rows, ws.isRows = rows, true
+}
+
+// joinStep joins the working set with table jt, using the batch hash
+// join when the working set is columnar and the ON clause is a typed
+// equi-join; otherwise it materialises rows and uses the row join.
+func (db *DB) joinStep(ws *rowset, jt *Table, jalias string, j Join) error {
+	if !ws.isRows && db.vectorized && j.Kind != JoinCross && j.On != nil {
+		rightRS := baseRowSchema(jalias, jt.Schema)
+		if lIdx, rIdx, ok := equiJoinCols(j.On, ws.rs, rightRS); ok {
+			rb := jt.columnBatch()
+			combined := append(append(rowSchema{}, ws.rs...), rightRS...)
+			if out, ok := vecHashJoin(ws.batch, ws.selection(), rb, lIdx, rIdx, j.Kind, combined.toSchema()); ok {
+				db.stats.rowsScanned.Add(int64(rb.NumRows))
+				ws.batch, ws.sel, ws.rs = out, nil, combined
+				return nil
+			}
+		}
+	}
+	rows, rs, err := db.executeJoin(ws.materialize(), ws.rs, jt, jalias, j)
+	if err != nil {
+		return err
+	}
+	ws.rows, ws.rs, ws.isRows = rows, rs, true
+	return nil
+}
+
+// applyWhere filters the working set, vectorized when the predicate
+// compiles to a boolean kernel (partitioned across workers for large
+// batches), else row-at-a-time.
+func (db *DB) applyWhere(ws *rowset, where Expr) error {
+	if !ws.isRows {
+		vc := &vecCompiler{b: ws.batch, rs: ws.rs}
+		if pred, ok := vc.compile(where); ok && pred.kind == engine.TypeBool {
+			sel, err := runVecFilter(pred, ws.selection())
+			if err != nil {
+				return err
+			}
+			ws.sel = sel
+			return nil
+		}
+	}
+	rows := ws.materialize()
+	ev, err := compileExpr(where, ws.rs, nil)
+	if err != nil {
+		return err
+	}
+	kept := rows[:0]
+	for _, row := range rows {
+		v, err := ev(row)
+		if err != nil {
+			return err
+		}
+		if !v.IsNull() && v.AsBool() {
+			kept = append(kept, row)
+		}
+	}
+	ws.rows = kept
+	return nil
 }
 
 // indexableEquality detects `col = literal` (or literal = col) at the
@@ -474,7 +575,7 @@ func (db *DB) executeJoin(left []engine.Tuple, leftRS rowSchema, jt *Table, jali
 		rightRows = append(rightRows, row)
 		return nil
 	})
-	db.stats.RowsScanned += int64(len(rightRows))
+	db.stats.rowsScanned.Add(int64(len(rightRows)))
 
 	if j.Kind == JoinCross {
 		out := make([]engine.Tuple, 0, len(left)*len(rightRows))
@@ -617,11 +718,23 @@ func expandItems(items []SelectItem, rs rowSchema) ([]Expr, []string, error) {
 
 // projectPlain projects ungrouped rows. Hidden ORDER BY columns are
 // appended after the visible ones.
-func (db *DB) projectPlain(s *Select, rows []engine.Tuple, rs rowSchema) (*engine.Relation, error) {
+func (db *DB) projectPlain(s *Select, ws *rowset) (*engine.Relation, error) {
+	rs := ws.rs
 	exprs, names, err := expandItems(s.Items, rs)
 	if err != nil {
 		return nil, err
 	}
+	// Vectorized projection: every output expression compiles to a
+	// kernel and there is no ORDER BY (whose alias/positional references
+	// need the row-path machinery).
+	if !ws.isRows && len(s.OrderBy) == 0 {
+		if rel, ok, err := projectPlainVec(exprs, names, ws); err != nil {
+			return nil, err
+		} else if ok {
+			return rel, nil
+		}
+	}
+	rows := ws.materialize()
 	evals := make([]evaluator, len(exprs))
 	for i, e := range exprs {
 		evals[i], err = compileExpr(e, rs, nil)
@@ -656,6 +769,38 @@ func (db *DB) projectPlain(s *Select, rows []engine.Tuple, rs rowSchema) (*engin
 		out.Tuples = append(out.Tuples, t)
 	}
 	return out, nil
+}
+
+// projectPlainVec evaluates the output expressions as column kernels
+// over the selection and assembles the result tuples from one arena.
+func projectPlainVec(exprs []Expr, names []string, ws *rowset) (*engine.Relation, bool, error) {
+	vc := &vecCompiler{b: ws.batch, rs: ws.rs}
+	evs := make([]vecExpr, len(exprs))
+	for i, e := range exprs {
+		ev, ok := vc.compile(e)
+		if !ok {
+			return nil, false, nil
+		}
+		evs[i] = ev
+	}
+	sel := ws.selection()
+	out := engine.NewRelation(outputSchema(names, exprs, ws.rs))
+	n, ncols := len(sel), len(evs)
+	out.Tuples = make([]engine.Tuple, n)
+	arena := make([]engine.Value, n*ncols)
+	for k := range out.Tuples {
+		out.Tuples[k] = engine.Tuple(arena[k*ncols : (k+1)*ncols : (k+1)*ncols])
+	}
+	var v vec
+	for j := range evs {
+		if err := evs[j].eval(sel, &v); err != nil {
+			return nil, false, err
+		}
+		for k := 0; k < n; k++ {
+			arena[k*ncols+j] = v.valueAt(k)
+		}
+	}
+	return out, true, nil
 }
 
 // orderEval evaluates an ORDER BY expression given the already-projected
@@ -860,8 +1005,27 @@ func (st *aggState) result() engine.Value {
 	}
 }
 
-// projectGrouped handles GROUP BY / aggregate projection.
-func (db *DB) projectGrouped(s *Select, rows []engine.Tuple, rs rowSchema) (*engine.Relation, error) {
+// aggGroup accumulates one GROUP BY bucket: the group's first source
+// row (for evaluating non-aggregate expressions) and its aggregates.
+type aggGroup struct {
+	firstRow engine.Tuple
+	aggs     []*aggState
+}
+
+func newAggGroup(firstRow engine.Tuple, aggCalls []FuncCall) *aggGroup {
+	g := &aggGroup{firstRow: firstRow, aggs: make([]*aggState, len(aggCalls))}
+	for i, fc := range aggCalls {
+		g.aggs[i] = newAggState(fc)
+	}
+	return g
+}
+
+// projectGrouped handles GROUP BY / aggregate projection. Accumulation
+// — the O(rows) part — runs vectorized when the group keys and
+// aggregate arguments compile to kernels; the per-group output phase is
+// shared with the row path.
+func (db *DB) projectGrouped(s *Select, ws *rowset) (*engine.Relation, error) {
+	rs := ws.rs
 	exprs, names, err := expandItems(s.Items, rs)
 	if err != nil {
 		return nil, err
@@ -878,26 +1042,17 @@ func (db *DB) projectGrouped(s *Select, rows []engine.Tuple, rs rowSchema) (*eng
 	}
 	aggCalls := collectAggregates(all)
 	aggKeys := make([]string, len(aggCalls))
-	aggArgEvals := make([]evaluator, len(aggCalls))
 	for i, fc := range aggCalls {
 		aggKeys[i] = exprKey(fc)
-		if fc.Star {
-			aggArgEvals[i] = nil // COUNT(*)
-		} else {
-			if len(fc.Args) != 1 {
-				return nil, fmt.Errorf("relational: %s expects 1 argument", fc.Name)
-			}
-			ev, err := compileExpr(fc.Args[0], rs, nil)
-			if err != nil {
-				return nil, err
-			}
-			aggArgEvals[i] = ev
+		if !fc.Star && len(fc.Args) != 1 {
+			return nil, fmt.Errorf("relational: %s expects 1 argument", fc.Name)
 		}
 	}
 
-	groupEvals := make([]evaluator, len(s.GroupBy))
+	// GROUP BY may reference an output alias; resolve once for both
+	// accumulation paths.
+	groupBy := make([]Expr, len(s.GroupBy))
 	for i, g := range s.GroupBy {
-		// GROUP BY may reference an output alias.
 		resolved := g
 		if cr, ok := g.(ColumnRef); ok && cr.Table == "" {
 			if _, err := rs.resolve("", cr.Name); err != nil {
@@ -909,58 +1064,27 @@ func (db *DB) projectGrouped(s *Select, rows []engine.Tuple, rs rowSchema) (*eng
 				}
 			}
 		}
-		ev, err := compileExpr(resolved, rs, nil)
+		groupBy[i] = resolved
+	}
+
+	var groups map[string]*aggGroup
+	var order []string
+	accumulated := false
+	if !ws.isRows {
+		groups, order, accumulated, err = groupAccumVec(ws, groupBy, aggCalls)
 		if err != nil {
 			return nil, err
 		}
-		groupEvals[i] = ev
 	}
-
-	type group struct {
-		firstRow engine.Tuple
-		aggs     []*aggState
-	}
-	groups := map[string]*group{}
-	var order []string
-	for _, row := range rows {
-		var kb strings.Builder
-		for _, ge := range groupEvals {
-			v, err := ge(row)
-			if err != nil {
-				return nil, err
-			}
-			kb.WriteString(valueKey(v))
-			kb.WriteByte('\x1f')
-		}
-		k := kb.String()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{firstRow: row, aggs: make([]*aggState, len(aggCalls))}
-			for i, fc := range aggCalls {
-				g.aggs[i] = newAggState(fc)
-			}
-			groups[k] = g
-			order = append(order, k)
-		}
-		for i, st := range g.aggs {
-			if aggArgEvals[i] == nil {
-				st.count++ // COUNT(*)
-				continue
-			}
-			v, err := aggArgEvals[i](row)
-			if err != nil {
-				return nil, err
-			}
-			st.add(v)
+	if !accumulated {
+		groups, order, err = db.groupAccumRows(ws, groupBy, aggCalls)
+		if err != nil {
+			return nil, err
 		}
 	}
 	// Aggregate-only query over zero rows still yields one group.
 	if len(groups) == 0 && len(s.GroupBy) == 0 {
-		g := &group{firstRow: nullTuple(len(rs)), aggs: make([]*aggState, len(aggCalls))}
-		for i, fc := range aggCalls {
-			g.aggs[i] = newAggState(fc)
-		}
-		groups[""] = g
+		groups[""] = newAggGroup(nullTuple(len(rs)), aggCalls)
 		order = append(order, "")
 	}
 
@@ -1036,4 +1160,314 @@ func (db *DB) projectGrouped(s *Select, rows []engine.Tuple, rs rowSchema) (*eng
 		out.Tuples = append(out.Tuples, t)
 	}
 	return out, nil
+}
+
+// groupAccumRows is the row-at-a-time accumulation loop: interpreted
+// group-key and aggregate-argument closures per row.
+func (db *DB) groupAccumRows(ws *rowset, groupBy []Expr, aggCalls []FuncCall) (map[string]*aggGroup, []string, error) {
+	rs := ws.rs
+	groupEvals := make([]evaluator, len(groupBy))
+	for i, g := range groupBy {
+		ev, err := compileExpr(g, rs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupEvals[i] = ev
+	}
+	aggArgEvals := make([]evaluator, len(aggCalls))
+	for i, fc := range aggCalls {
+		if fc.Star {
+			continue // COUNT(*)
+		}
+		ev, err := compileExpr(fc.Args[0], rs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		aggArgEvals[i] = ev
+	}
+	groups := map[string]*aggGroup{}
+	var order []string
+	for _, row := range ws.materialize() {
+		var kb strings.Builder
+		for _, ge := range groupEvals {
+			v, err := ge(row)
+			if err != nil {
+				return nil, nil, err
+			}
+			kb.WriteString(valueKey(v))
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = newAggGroup(row, aggCalls)
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, st := range g.aggs {
+			if aggArgEvals[i] == nil {
+				st.count++ // COUNT(*)
+				continue
+			}
+			v, err := aggArgEvals[i](row)
+			if err != nil {
+				return nil, nil, err
+			}
+			st.add(v)
+		}
+	}
+	return groups, order, nil
+}
+
+// groupAccumVec is the vectorized accumulation: group keys and
+// aggregate arguments are evaluated as column kernels over the
+// selection, one pass assigns every row a dense group id (specialised
+// hash maps for single int/string keys, byte-encoded composite keys
+// otherwise), then each aggregate runs a typed loop over its argument
+// vector into flat per-group accumulators — no per-row boxing, no
+// per-row closure calls.
+func groupAccumVec(ws *rowset, groupBy []Expr, aggCalls []FuncCall) (map[string]*aggGroup, []string, bool, error) {
+	vc := &vecCompiler{b: ws.batch, rs: ws.rs}
+	gevs := make([]vecExpr, len(groupBy))
+	for i, g := range groupBy {
+		ev, ok := vc.compile(g)
+		if !ok {
+			return nil, nil, false, nil
+		}
+		gevs[i] = ev
+	}
+	argEvs := make([]*vecExpr, len(aggCalls))
+	for i, fc := range aggCalls {
+		if fc.Star {
+			continue // COUNT(*): no argument
+		}
+		ev, ok := vc.compile(fc.Args[0])
+		if !ok {
+			return nil, nil, false, nil
+		}
+		argEvs[i] = &ev
+	}
+
+	sel := ws.selection()
+	n := len(sel)
+	gvecs := make([]vec, len(gevs))
+	for i := range gevs {
+		if err := gevs[i].eval(sel, &gvecs[i]); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	avecs := make([]*vec, len(argEvs))
+	for i, ev := range argEvs {
+		if ev == nil {
+			continue
+		}
+		avecs[i] = &vec{}
+		if err := ev.eval(sel, avecs[i]); err != nil {
+			return nil, nil, false, err
+		}
+	}
+
+	// Phase 1: assign each selected row a dense group id.
+	var glist []*aggGroup
+	var keys []string
+	newGroup := func(k int) int32 {
+		var buf []byte
+		for gi := range gvecs {
+			buf = gvecs[gi].appendGroupKey(buf, k)
+		}
+		glist = append(glist, newAggGroup(ws.batch.Row(int(sel[k])), aggCalls))
+		keys = append(keys, string(buf))
+		return int32(len(glist) - 1)
+	}
+	gids := make([]int32, n)
+	switch {
+	case len(gvecs) == 1 && gvecs[0].kind == engine.TypeInt:
+		gv := &gvecs[0]
+		m := make(map[int64]int32, 64)
+		nullGid := int32(-1)
+		for k := 0; k < n; k++ {
+			if gv.null[k] {
+				if nullGid < 0 {
+					nullGid = newGroup(k)
+				}
+				gids[k] = nullGid
+				continue
+			}
+			gid, ok := m[gv.ints[k]]
+			if !ok {
+				gid = newGroup(k)
+				m[gv.ints[k]] = gid
+			}
+			gids[k] = gid
+		}
+	case len(gvecs) == 1 && gvecs[0].kind == engine.TypeString:
+		gv := &gvecs[0]
+		m := make(map[string]int32, 64)
+		nullGid := int32(-1)
+		for k := 0; k < n; k++ {
+			if gv.null[k] {
+				if nullGid < 0 {
+					nullGid = newGroup(k)
+				}
+				gids[k] = nullGid
+				continue
+			}
+			gid, ok := m[gv.strs[k]]
+			if !ok {
+				gid = newGroup(k)
+				m[gv.strs[k]] = gid
+			}
+			gids[k] = gid
+		}
+	default:
+		m := make(map[string]int32, 64)
+		var buf []byte
+		for k := 0; k < n; k++ {
+			buf = buf[:0]
+			for gi := range gvecs {
+				buf = gvecs[gi].appendGroupKey(buf, k)
+			}
+			gid, ok := m[string(buf)]
+			if !ok {
+				gid = newGroup(k)
+				m[string(buf)] = gid
+			}
+			gids[k] = gid
+		}
+	}
+
+	// Phase 2: typed accumulation per aggregate.
+	for i, fc := range aggCalls {
+		accumAggVec(glist, gids, i, fc, avecs[i])
+	}
+
+	groups := make(map[string]*aggGroup, len(glist))
+	for g, key := range keys {
+		groups[key] = glist[g]
+	}
+	return groups, keys, true, nil
+}
+
+// accumAggVec folds one aggregate's argument vector into its per-group
+// states through flat typed accumulator arrays, boxing at most once per
+// group (for MIN/MAX results) instead of once per row.
+func accumAggVec(glist []*aggGroup, gids []int32, agg int, fc FuncCall, av *vec) {
+	ng := len(glist)
+	if av == nil { // COUNT(*)
+		counts := make([]int64, ng)
+		for _, gid := range gids {
+			counts[gid]++
+		}
+		for g, c := range counts {
+			glist[g].aggs[agg].count += c
+		}
+		return
+	}
+	if fc.Distinct || (av.kind != engine.TypeInt && av.kind != engine.TypeFloat && av.kind != engine.TypeString) {
+		// DISTINCT needs the per-value de-dup map; exotic kinds keep the
+		// reference semantics of aggState.add.
+		for k, gid := range gids {
+			glist[gid].aggs[agg].add(av.valueAt(k))
+		}
+		return
+	}
+	counts := make([]int64, ng)
+	sums := make([]float64, ng)
+	sumSqs := make([]float64, ng)
+	has := make([]bool, ng)
+	finish := func(g int, minV, maxV engine.Value) {
+		st := glist[g].aggs[agg]
+		st.count = counts[g]
+		st.sum = sums[g]
+		st.sumSq = sumSqs[g]
+		st.min, st.max = minV, maxV
+		st.hasVal = true
+	}
+	switch av.kind {
+	case engine.TypeInt:
+		mins := make([]int64, ng)
+		maxs := make([]int64, ng)
+		for k, gid := range gids {
+			if av.null[k] {
+				continue
+			}
+			v := av.ints[k]
+			f := float64(v)
+			counts[gid]++
+			sums[gid] += f
+			sumSqs[gid] += f * f
+			if !has[gid] {
+				mins[gid], maxs[gid], has[gid] = v, v, true
+			} else {
+				if v < mins[gid] {
+					mins[gid] = v
+				}
+				if v > maxs[gid] {
+					maxs[gid] = v
+				}
+			}
+		}
+		for g := 0; g < ng; g++ {
+			if has[g] {
+				finish(g, engine.NewInt(mins[g]), engine.NewInt(maxs[g]))
+			}
+		}
+	case engine.TypeFloat:
+		mins := make([]float64, ng)
+		maxs := make([]float64, ng)
+		for k, gid := range gids {
+			if av.null[k] {
+				continue
+			}
+			v := av.floats[k]
+			counts[gid]++
+			sums[gid] += v
+			sumSqs[gid] += v * v
+			if !has[gid] {
+				mins[gid], maxs[gid], has[gid] = v, v, true
+			} else {
+				if v < mins[gid] {
+					mins[gid] = v
+				}
+				if v > maxs[gid] {
+					maxs[gid] = v
+				}
+			}
+		}
+		for g := 0; g < ng; g++ {
+			if has[g] {
+				finish(g, engine.NewFloat(mins[g]), engine.NewFloat(maxs[g]))
+			}
+		}
+	case engine.TypeString:
+		mins := make([]string, ng)
+		maxs := make([]string, ng)
+		for k, gid := range gids {
+			if av.null[k] {
+				continue
+			}
+			v := av.strs[k]
+			// aggState sums strings through AsFloat (NaN when
+			// unparsable); replicate for result parity.
+			f := engine.NewString(v).AsFloat()
+			counts[gid]++
+			sums[gid] += f
+			sumSqs[gid] += f * f
+			if !has[gid] {
+				mins[gid], maxs[gid], has[gid] = v, v, true
+			} else {
+				if v < mins[gid] {
+					mins[gid] = v
+				}
+				if v > maxs[gid] {
+					maxs[gid] = v
+				}
+			}
+		}
+		for g := 0; g < ng; g++ {
+			if has[g] {
+				finish(g, engine.NewString(mins[g]), engine.NewString(maxs[g]))
+			}
+		}
+	}
 }

@@ -28,6 +28,16 @@ func baseRowSchema(tableName string, s engine.Schema) rowSchema {
 	return rs
 }
 
+// toSchema flattens the working schema to a plain engine schema
+// (qualifiers dropped), used for intermediate column batches.
+func (rs rowSchema) toSchema() engine.Schema {
+	cols := make([]engine.Column, len(rs))
+	for i, c := range rs {
+		cols[i] = engine.Col(c.Name, c.Type)
+	}
+	return engine.Schema{Columns: cols}
+}
+
 // resolve finds the index of a (possibly qualified) column reference.
 func (rs rowSchema) resolve(table, name string) (int, error) {
 	table = strings.ToLower(table)
@@ -379,39 +389,36 @@ func arith(op string, l, r engine.Value) (engine.Value, error) {
 // likeMatch implements SQL LIKE with % (any run) and _ (any single
 // char), case-insensitive like Postgres ILIKE for demo friendliness.
 func likeMatch(s, pattern string) bool {
-	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+	return likeIter(strings.ToLower(s), strings.ToLower(pattern))
 }
 
-func likeRec(s, p string) bool {
-	for len(p) > 0 {
-		switch p[0] {
-		case '%':
-			// Collapse consecutive %.
-			for len(p) > 0 && p[0] == '%' {
-				p = p[1:]
-			}
-			if len(p) == 0 {
-				return true
-			}
-			for i := 0; i <= len(s); i++ {
-				if likeRec(s[i:], p) {
-					return true
-				}
-			}
-			return false
-		case '_':
-			if len(s) == 0 {
-				return false
-			}
-			s, p = s[1:], p[1:]
+// likeIter matches iteratively with two cursors and single-level
+// backtracking to the most recent %. Nested recursion per % made
+// pathological patterns like %a%a%a%… against a long non-matching
+// string exponential; this form is O(len(s)·len(p)) worst case.
+func likeIter(s, p string) bool {
+	si, pi := 0, 0
+	star, ss := -1, 0 // position of the last % in p, and the s index its run currently ends at
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			// Mismatch after a %: widen that %'s run by one and retry.
+			ss++
+			si, pi = ss, star+1
 		default:
-			if len(s) == 0 || s[0] != p[0] {
-				return false
-			}
-			s, p = s[1:], p[1:]
+			return false
 		}
 	}
-	return len(s) == 0
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
 }
 
 func compileScalarFunc(ex FuncCall, rs rowSchema, aggLookup func(string, engine.Tuple) (engine.Value, bool)) (evaluator, error) {

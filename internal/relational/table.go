@@ -2,8 +2,10 @@ package relational
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 )
@@ -21,6 +23,16 @@ type Table struct {
 
 	pkIndex   map[string]int // value key -> slot
 	secondary map[int]*index // column idx -> index
+
+	// Columnar scan cache for the vectorized executor. version is bumped
+	// on every mutation (always under the DB write lock); the cache is
+	// rebuilt lazily on the next vectorized scan. cacheMu serialises
+	// rebuilds between concurrent readers, which hold only the DB read
+	// lock.
+	version  int64
+	cacheMu  sync.Mutex
+	colCache *engine.ColumnBatch
+	cacheVer int64
 }
 
 type index struct {
@@ -98,6 +110,7 @@ func (t *Table) insert(row engine.Tuple) error {
 	t.rows = append(t.rows, row)
 	t.deleted = append(t.deleted, false)
 	t.live++
+	t.version++
 	for _, idx := range t.secondary {
 		k := valueKey(row[idx.col])
 		idx.slots[k] = append(idx.slots[k], slot)
@@ -112,6 +125,7 @@ func (t *Table) deleteSlot(slot int) {
 	}
 	t.deleted[slot] = true
 	t.live--
+	t.version++
 	if t.PKCol >= 0 {
 		delete(t.pkIndex, valueKey(t.rows[slot][t.PKCol]))
 	}
@@ -182,14 +196,90 @@ func (t *Table) scan(fn func(slot int, row engine.Tuple) error) error {
 // Len returns the number of live rows.
 func (t *Table) Len() int { return t.live }
 
+// columnBatch returns the cached columnar image of the live rows,
+// rebuilding it when the table has mutated since the last build. The
+// returned batch is an immutable snapshot: mutations bump version and
+// the next call builds a fresh batch rather than touching this one, so
+// callers (including CAST encoders running outside the table lock) may
+// keep reading it.
+func (t *Table) columnBatch() *engine.ColumnBatch {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	if t.colCache == nil || t.cacheVer != t.version {
+		t.colCache = buildColumnBatch(t.Schema, t.rows, t.deleted, t.live)
+		t.cacheVer = t.version
+	}
+	return t.colCache
+}
+
+// buildColumnBatch converts the live rows to columnar form. Large
+// tables are partitioned across workers — one chunk per worker, merged
+// in order at the end.
+func buildColumnBatch(schema engine.Schema, rows []engine.Tuple, deleted []bool, live int) *engine.ColumnBatch {
+	workers := runtime.GOMAXPROCS(0)
+	if len(rows) < parallelScanRows || workers < 2 {
+		cb := engine.NewColumnBatch(schema, live)
+		for slot, row := range rows {
+			if !deleted[slot] {
+				_ = cb.AppendTuple(row)
+			}
+		}
+		return cb
+	}
+	chunk := (len(rows) + workers - 1) / workers
+	parts := make([]*engine.ColumnBatch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			cb := engine.NewColumnBatch(schema, hi-lo)
+			for slot := lo; slot < hi; slot++ {
+				if !deleted[slot] {
+					_ = cb.AppendTuple(rows[slot])
+				}
+			}
+			parts[w] = cb
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := engine.NewColumnBatch(schema, live)
+	for _, p := range parts {
+		if p != nil {
+			_ = out.AppendBatch(p)
+		}
+	}
+	return out
+}
+
 // DB is the relational engine: a set of tables behind a RW lock. It is
 // safe for concurrent use; writers serialise, readers share.
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 
-	// Stats feed the cross-system monitor (§2.1 of the paper).
-	stats EngineStats
+	// vectorized selects the columnar batch executor for SELECT hot
+	// paths (on by default); the row-at-a-time executor remains as the
+	// fallback for plans the vectorizer cannot compile.
+	vectorized bool
+
+	// Stats feed the cross-system monitor (§2.1 of the paper). The
+	// counters are atomic because readers sharing the RLock bump them
+	// concurrently.
+	stats engineCounters
+}
+
+type engineCounters struct {
+	queries     atomic.Int64
+	rowsScanned atomic.Int64
 }
 
 // EngineStats counts work done by the engine, for the monitoring system.
@@ -200,14 +290,24 @@ type EngineStats struct {
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{tables: map[string]*Table{}}
+	return &DB{tables: map[string]*Table{}, vectorized: true}
+}
+
+// SetVectorized toggles the vectorized executor; with it off every
+// query runs the row-at-a-time path. Exposed so benchmarks and
+// experiments can compare the two executors on identical plans.
+func (db *DB) SetVectorized(on bool) {
+	db.mu.Lock()
+	db.vectorized = on
+	db.mu.Unlock()
 }
 
 // Stats returns a snapshot of the engine counters.
 func (db *DB) Stats() EngineStats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.stats
+	return EngineStats{
+		Queries:     db.stats.queries.Load(),
+		RowsScanned: db.stats.rowsScanned.Load(),
+	}
 }
 
 // CreateTable registers a new table programmatically.
@@ -287,28 +387,39 @@ func (db *DB) TableLen(name string) (int, error) {
 	return t.Len(), nil
 }
 
+// insertTuplesLocked bulk-loads rows into the named table, creating it
+// (without a primary key) if absent. The rows must be owned by the
+// table (callers clone if they keep references).
+func (db *DB) insertTuplesLocked(name string, schema engine.Schema, rows []engine.Tuple) error {
+	key := strings.ToLower(name)
+	t, ok := db.tables[key]
+	if !ok {
+		if err := db.createTableLocked(name, schema, ""); err != nil {
+			return err
+		}
+		t = db.tables[key]
+	}
+	if len(schema.Columns) != len(t.Schema.Columns) {
+		return fmt.Errorf("relational: %s: incoming arity %d != %d", name, len(schema.Columns), len(t.Schema.Columns))
+	}
+	for _, row := range rows {
+		if err := t.insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // InsertRelation bulk-loads a relation into the named table, creating it
 // (without a primary key) if absent. This is the CAST ingest path.
 func (db *DB) InsertRelation(name string, rel *engine.Relation) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	key := strings.ToLower(name)
-	t, ok := db.tables[key]
-	if !ok {
-		if err := db.createTableLocked(name, rel.Schema, ""); err != nil {
-			return err
-		}
-		t = db.tables[key]
+	rows := make([]engine.Tuple, len(rel.Tuples))
+	for i, row := range rel.Tuples {
+		rows[i] = row.Clone()
 	}
-	if len(rel.Schema.Columns) != len(t.Schema.Columns) {
-		return fmt.Errorf("relational: %s: incoming arity %d != %d", name, len(rel.Schema.Columns), len(t.Schema.Columns))
-	}
-	for _, row := range rel.Tuples {
-		if err := t.insert(row.Clone()); err != nil {
-			return err
-		}
-	}
-	return nil
+	return db.insertTuplesLocked(name, rel.Schema, rows)
 }
 
 // Dump exports the named table as a relation (CAST egress path).
@@ -326,4 +437,28 @@ func (db *DB) Dump(name string) (*engine.Relation, error) {
 		return nil
 	})
 	return rel, nil
+}
+
+// DumpBatch exports the named table in columnar form — the zero-copy
+// CAST egress path. The returned batch is the table's immutable column
+// cache snapshot: no per-row cloning, and on a warm cache no copying at
+// all.
+func (db *DB) DumpBatch(name string) (*engine.ColumnBatch, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.columnBatch(), nil
+}
+
+// InsertBatch bulk-loads a column batch into the named table, creating
+// it (without a primary key) if absent — the columnar CAST ingest path.
+// Row tuples are carved from one arena rather than allocated per row,
+// and the table owns them outright (no clone pass).
+func (db *DB) InsertBatch(name string, cb *engine.ColumnBatch) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertTuplesLocked(name, cb.Schema, cb.ToRelation().Tuples)
 }

@@ -1,0 +1,1040 @@
+package relational
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Vectorized executor kernels. The row-at-a-time executor in exec.go
+// interprets one compiled closure tree per row; the kernels here compile
+// the same Expr tree once into batch operators that run tight typed
+// loops over ColumnBatch vectors, driven by a selection vector (indices
+// of the surviving rows). Plans the compiler cannot express — scalar
+// function calls, mixed-type (generic) columns, exotic comparisons —
+// report !ok and the executor falls back to the row path, so
+// vectorization is always a pure optimisation, never a semantics change.
+
+// parallelScanRows is the batch cardinality at which base-table scans
+// and filters partition across workers (worker-per-chunk, merged in
+// selection order at the end).
+const parallelScanRows = 1 << 15
+
+// vec is one intermediate result vector, dense over the current
+// selection: entry k holds the value for row sel[k]. null[k] marks SQL
+// NULL (three-valued logic propagates it through every kernel).
+type vec struct {
+	kind   engine.Type
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	null   []bool
+}
+
+// reset prepares the vector for n results of the given kind. null and
+// bools are zeroed (the short-circuiting AND kernel relies on skipped
+// rows reading false); ints/floats/strs buffers come back dirty, so
+// every kernel must write all selected entries of those.
+func (v *vec) reset(kind engine.Type, n int) {
+	v.kind = kind
+	if cap(v.null) < n {
+		v.null = make([]bool, n)
+	} else {
+		v.null = v.null[:n]
+		for i := range v.null {
+			v.null[i] = false
+		}
+	}
+	switch kind {
+	case engine.TypeInt:
+		if cap(v.ints) < n {
+			v.ints = make([]int64, n)
+		} else {
+			v.ints = v.ints[:n]
+		}
+	case engine.TypeFloat:
+		if cap(v.floats) < n {
+			v.floats = make([]float64, n)
+		} else {
+			v.floats = v.floats[:n]
+		}
+	case engine.TypeString:
+		if cap(v.strs) < n {
+			v.strs = make([]string, n)
+		} else {
+			v.strs = v.strs[:n]
+		}
+	case engine.TypeBool:
+		if cap(v.bools) < n {
+			v.bools = make([]bool, n)
+		} else {
+			v.bools = v.bools[:n]
+			for i := range v.bools {
+				v.bools[i] = false
+			}
+		}
+	}
+}
+
+// valueAt boxes entry k.
+func (v *vec) valueAt(k int) engine.Value {
+	if v.null[k] {
+		return engine.Null
+	}
+	switch v.kind {
+	case engine.TypeInt:
+		return engine.NewInt(v.ints[k])
+	case engine.TypeFloat:
+		return engine.NewFloat(v.floats[k])
+	case engine.TypeString:
+		return engine.NewString(v.strs[k])
+	default:
+		return engine.NewBool(v.bools[k])
+	}
+}
+
+// floatAt reads entry k as float64; valid for numeric vecs only.
+func (v *vec) floatAt(k int) float64 {
+	if v.kind == engine.TypeInt {
+		return float64(v.ints[k])
+	}
+	return v.floats[k]
+}
+
+// appendGroupKey appends a canonical byte encoding of entry k, used to
+// build composite GROUP BY hash keys without boxing.
+func (v *vec) appendGroupKey(buf []byte, k int) []byte {
+	if v.null[k] {
+		return append(buf, 0)
+	}
+	switch v.kind {
+	case engine.TypeInt:
+		buf = append(buf, 1)
+		return binary.AppendVarint(buf, v.ints[k])
+	case engine.TypeFloat:
+		buf = append(buf, 2)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.floats[k]))
+	case engine.TypeString:
+		buf = append(buf, 3)
+		buf = binary.AppendUvarint(buf, uint64(len(v.strs[k])))
+		return append(buf, v.strs[k]...)
+	default:
+		if v.bools[k] {
+			return append(buf, 5)
+		}
+		return append(buf, 4)
+	}
+}
+
+// vecExpr is a compiled vectorized expression: a statically known result
+// kind plus an evaluator. Evaluators are reentrant (no captured mutable
+// state) so chunked scans may share one compiled tree across workers.
+type vecExpr struct {
+	kind engine.Type
+	eval func(sel []int32, out *vec) error
+}
+
+// vecCompiler compiles Expr trees against one specific batch.
+type vecCompiler struct {
+	b  *engine.ColumnBatch
+	rs rowSchema
+}
+
+func isNumericKind(t engine.Type) bool { return t == engine.TypeInt || t == engine.TypeFloat }
+
+func comparableKinds(a, b engine.Type) bool {
+	if isNumericKind(a) && isNumericKind(b) {
+		return true
+	}
+	return a == engine.TypeString && b == engine.TypeString
+}
+
+// compile returns the vectorized form of e, or ok=false when e (or a
+// subexpression) is outside the vectorizable subset.
+func (vc *vecCompiler) compile(e Expr) (vecExpr, bool) {
+	switch ex := e.(type) {
+	case Literal:
+		return vc.compileLiteral(ex.Val)
+	case ColumnRef:
+		idx, err := vc.rs.resolve(ex.Table, ex.Name)
+		if err != nil || idx >= len(vc.b.Cols) {
+			return vecExpr{}, false
+		}
+		return vc.compileColumn(idx)
+	case UnaryExpr:
+		inner, ok := vc.compile(ex.Expr)
+		if !ok {
+			return vecExpr{}, false
+		}
+		switch ex.Op {
+		case "-":
+			if !isNumericKind(inner.kind) {
+				return vecExpr{}, false
+			}
+			kind := inner.kind
+			return vecExpr{kind: kind, eval: func(sel []int32, out *vec) error {
+				var in vec
+				if err := inner.eval(sel, &in); err != nil {
+					return err
+				}
+				out.reset(kind, len(sel))
+				copy(out.null, in.null)
+				if kind == engine.TypeInt {
+					for k := range in.ints {
+						out.ints[k] = -in.ints[k]
+					}
+				} else {
+					for k := range in.floats {
+						out.floats[k] = -in.floats[k]
+					}
+				}
+				return nil
+			}}, true
+		case "NOT":
+			if inner.kind != engine.TypeBool {
+				return vecExpr{}, false
+			}
+			return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+				var in vec
+				if err := inner.eval(sel, &in); err != nil {
+					return err
+				}
+				out.reset(engine.TypeBool, len(sel))
+				copy(out.null, in.null)
+				for k := range in.bools {
+					out.bools[k] = !in.bools[k]
+				}
+				return nil
+			}}, true
+		default:
+			return vecExpr{}, false
+		}
+	case BinaryExpr:
+		return vc.compileBinary(ex)
+	case IsNullExpr:
+		inner, ok := vc.compile(ex.Expr)
+		if !ok {
+			return vecExpr{}, false
+		}
+		not := ex.Not
+		return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+			var in vec
+			if err := inner.eval(sel, &in); err != nil {
+				return err
+			}
+			out.reset(engine.TypeBool, len(sel))
+			for k := range in.null {
+				out.bools[k] = in.null[k] != not
+			}
+			return nil
+		}}, true
+	case BetweenExpr:
+		return vc.compileBetween(ex)
+	case InExpr:
+		return vc.compileIn(ex)
+	default:
+		// FuncCall (scalar and aggregate) and anything unknown: row path.
+		return vecExpr{}, false
+	}
+}
+
+func (vc *vecCompiler) compileLiteral(v engine.Value) (vecExpr, bool) {
+	kind := v.Kind
+	switch kind {
+	case engine.TypeInt, engine.TypeFloat, engine.TypeString, engine.TypeBool:
+	default:
+		return vecExpr{}, false
+	}
+	return vecExpr{kind: kind, eval: func(sel []int32, out *vec) error {
+		out.reset(kind, len(sel))
+		switch kind {
+		case engine.TypeInt:
+			for k := range out.ints {
+				out.ints[k] = v.I
+			}
+		case engine.TypeFloat:
+			for k := range out.floats {
+				out.floats[k] = v.F
+			}
+		case engine.TypeString:
+			for k := range out.strs {
+				out.strs[k] = v.S
+			}
+		case engine.TypeBool:
+			for k := range out.bools {
+				out.bools[k] = v.B
+			}
+		}
+		return nil
+	}}, true
+}
+
+func (vc *vecCompiler) compileColumn(idx int) (vecExpr, bool) {
+	col := &vc.b.Cols[idx]
+	kind := col.Kind
+	if kind == engine.TypeNull {
+		return vecExpr{}, false // generic column: row path
+	}
+	nulls := col.Nulls
+	return vecExpr{kind: kind, eval: func(sel []int32, out *vec) error {
+		out.reset(kind, len(sel))
+		switch kind {
+		case engine.TypeInt:
+			src := col.Ints
+			for k, i := range sel {
+				out.ints[k] = src[i]
+			}
+		case engine.TypeFloat:
+			src := col.Floats
+			for k, i := range sel {
+				out.floats[k] = src[i]
+			}
+		case engine.TypeString:
+			src := col.Strs
+			for k, i := range sel {
+				out.strs[k] = src[i]
+			}
+		case engine.TypeBool:
+			src := col.Bools
+			for k, i := range sel {
+				out.bools[k] = src[i]
+			}
+		}
+		if len(nulls) > 0 {
+			for k, i := range sel {
+				out.null[k] = nulls.Get(int(i))
+			}
+		}
+		return nil
+	}}, true
+}
+
+func (vc *vecCompiler) compileBinary(ex BinaryExpr) (vecExpr, bool) {
+	op := ex.Op
+	switch op {
+	case "AND", "OR":
+		l, ok := vc.compile(ex.Left)
+		if !ok || l.kind != engine.TypeBool {
+			return vecExpr{}, false
+		}
+		r, ok := vc.compile(ex.Right)
+		if !ok || r.kind != engine.TypeBool {
+			return vecExpr{}, false
+		}
+		isAnd := op == "AND"
+		// Like the row path, the right operand is short-circuited: it is
+		// evaluated only over the rows the left side does not decide
+		// (left true-or-null for AND, false-or-null for OR). This keeps
+		// guarded expressions — `d <> 0 AND 10 / d > 1` — from erroring
+		// on rows the guard excludes.
+		return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+			var lv vec
+			if err := l.eval(sel, &lv); err != nil {
+				return err
+			}
+			sub := make([]int32, 0, len(sel))
+			subPos := make([]int32, 0, len(sel))
+			for k := range sel {
+				lb, ln := lv.bools[k], lv.null[k]
+				var need bool
+				if isAnd {
+					need = ln || lb
+				} else {
+					need = ln || !lb
+				}
+				if need {
+					sub = append(sub, sel[k])
+					subPos = append(subPos, int32(k))
+				}
+			}
+			out.reset(engine.TypeBool, len(sel))
+			if !isAnd {
+				// Rows decided by the left side alone: left-true ORs.
+				for k := range sel {
+					out.bools[k] = !lv.null[k] && lv.bools[k]
+				}
+			}
+			// (For AND, left-false rows keep the zeroed false.)
+			if len(sub) == 0 {
+				return nil
+			}
+			var rv vec
+			if err := r.eval(sub, &rv); err != nil {
+				return err
+			}
+			for m, k := range subPos {
+				ln := lv.null[k]
+				rb, rn := rv.bools[m], rv.null[m]
+				if isAnd {
+					switch {
+					case !rn && !rb:
+						out.bools[k] = false
+						out.null[k] = false
+					case ln || rn:
+						out.bools[k] = false
+						out.null[k] = true
+					default:
+						out.bools[k] = true
+					}
+				} else {
+					switch {
+					case !rn && rb:
+						out.bools[k] = true
+						out.null[k] = false
+					case ln || rn:
+						out.bools[k] = false
+						out.null[k] = true
+					default:
+						out.bools[k] = false
+					}
+				}
+			}
+			return nil
+		}}, true
+	case "=", "<>", "<", "<=", ">", ">=":
+		l, ok := vc.compile(ex.Left)
+		if !ok {
+			return vecExpr{}, false
+		}
+		r, ok := vc.compile(ex.Right)
+		if !ok || !comparableKinds(l.kind, r.kind) {
+			return vecExpr{}, false
+		}
+		// Decode the operator into branch flags once, so the per-row
+		// loop never dispatches on the operator string.
+		var wantLt, wantEq, wantGt bool
+		switch op {
+		case "=":
+			wantEq = true
+		case "<>":
+			wantLt, wantGt = true, true
+		case "<":
+			wantLt = true
+		case "<=":
+			wantLt, wantEq = true, true
+		case ">":
+			wantGt = true
+		case ">=":
+			wantGt, wantEq = true, true
+		}
+		return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+			var lv, rv vec
+			if err := l.eval(sel, &lv); err != nil {
+				return err
+			}
+			if err := r.eval(sel, &rv); err != nil {
+				return err
+			}
+			out.reset(engine.TypeBool, len(sel))
+			switch {
+			case lv.kind == engine.TypeInt && rv.kind == engine.TypeInt:
+				for k := range out.bools {
+					if lv.null[k] || rv.null[k] {
+						out.null[k] = true
+						continue
+					}
+					a, b := lv.ints[k], rv.ints[k]
+					out.bools[k] = (a < b && wantLt) || (a == b && wantEq) || (a > b && wantGt)
+				}
+			case lv.kind == engine.TypeString:
+				for k := range out.bools {
+					if lv.null[k] || rv.null[k] {
+						out.null[k] = true
+						continue
+					}
+					cmp := strings.Compare(lv.strs[k], rv.strs[k])
+					out.bools[k] = (cmp < 0 && wantLt) || (cmp == 0 && wantEq) || (cmp > 0 && wantGt)
+				}
+			default:
+				for k := range out.bools {
+					if lv.null[k] || rv.null[k] {
+						out.null[k] = true
+						continue
+					}
+					a, b := lv.floatAt(k), rv.floatAt(k)
+					out.bools[k] = (a < b && wantLt) || (a == b && wantEq) || (a > b && wantGt)
+				}
+			}
+			return nil
+		}}, true
+	case "+", "-", "*", "/", "%":
+		l, ok := vc.compile(ex.Left)
+		if !ok || !isNumericKind(l.kind) {
+			return vecExpr{}, false
+		}
+		r, ok := vc.compile(ex.Right)
+		if !ok || !isNumericKind(r.kind) {
+			return vecExpr{}, false
+		}
+		bothInt := l.kind == engine.TypeInt && r.kind == engine.TypeInt
+		kind := engine.TypeFloat
+		if bothInt {
+			kind = engine.TypeInt
+		}
+		return vecExpr{kind: kind, eval: func(sel []int32, out *vec) error {
+			var lv, rv vec
+			if err := l.eval(sel, &lv); err != nil {
+				return err
+			}
+			if err := r.eval(sel, &rv); err != nil {
+				return err
+			}
+			out.reset(kind, len(sel))
+			if bothInt {
+				for k := range out.ints {
+					if lv.null[k] || rv.null[k] {
+						out.null[k] = true
+						continue
+					}
+					a, b := lv.ints[k], rv.ints[k]
+					switch op {
+					case "+":
+						out.ints[k] = a + b
+					case "-":
+						out.ints[k] = a - b
+					case "*":
+						out.ints[k] = a * b
+					case "/":
+						if b == 0 {
+							return fmt.Errorf("relational: division by zero")
+						}
+						out.ints[k] = a / b
+					case "%":
+						if b == 0 {
+							return fmt.Errorf("relational: modulo by zero")
+						}
+						out.ints[k] = a % b
+					}
+				}
+				return nil
+			}
+			for k := range out.floats {
+				if lv.null[k] || rv.null[k] {
+					out.null[k] = true
+					continue
+				}
+				a, b := lv.floatAt(k), rv.floatAt(k)
+				switch op {
+				case "+":
+					out.floats[k] = a + b
+				case "-":
+					out.floats[k] = a - b
+				case "*":
+					out.floats[k] = a * b
+				case "/":
+					if b == 0 {
+						return fmt.Errorf("relational: division by zero")
+					}
+					out.floats[k] = a / b
+				case "%":
+					out.floats[k] = math.Mod(a, b)
+				}
+			}
+			return nil
+		}}, true
+	case "LIKE":
+		l, ok := vc.compile(ex.Left)
+		if !ok || l.kind != engine.TypeString {
+			return vecExpr{}, false
+		}
+		// The common shape is a literal pattern: lower it once.
+		if lit, isLit := ex.Right.(Literal); isLit && lit.Val.Kind == engine.TypeString {
+			pattern := strings.ToLower(lit.Val.S)
+			return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+				var lv vec
+				if err := l.eval(sel, &lv); err != nil {
+					return err
+				}
+				out.reset(engine.TypeBool, len(sel))
+				for k := range out.bools {
+					if lv.null[k] {
+						out.null[k] = true
+						continue
+					}
+					out.bools[k] = likeIter(strings.ToLower(lv.strs[k]), pattern)
+				}
+				return nil
+			}}, true
+		}
+		r, ok := vc.compile(ex.Right)
+		if !ok || r.kind != engine.TypeString {
+			return vecExpr{}, false
+		}
+		return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+			var lv, rv vec
+			if err := l.eval(sel, &lv); err != nil {
+				return err
+			}
+			if err := r.eval(sel, &rv); err != nil {
+				return err
+			}
+			out.reset(engine.TypeBool, len(sel))
+			for k := range out.bools {
+				if lv.null[k] || rv.null[k] {
+					out.null[k] = true
+					continue
+				}
+				out.bools[k] = likeMatch(lv.strs[k], rv.strs[k])
+			}
+			return nil
+		}}, true
+	case "||":
+		l, ok := vc.compile(ex.Left)
+		if !ok || l.kind != engine.TypeString {
+			return vecExpr{}, false
+		}
+		r, ok := vc.compile(ex.Right)
+		if !ok || r.kind != engine.TypeString {
+			return vecExpr{}, false
+		}
+		return vecExpr{kind: engine.TypeString, eval: func(sel []int32, out *vec) error {
+			var lv, rv vec
+			if err := l.eval(sel, &lv); err != nil {
+				return err
+			}
+			if err := r.eval(sel, &rv); err != nil {
+				return err
+			}
+			out.reset(engine.TypeString, len(sel))
+			for k := range out.strs {
+				if lv.null[k] || rv.null[k] {
+					out.null[k] = true
+					continue
+				}
+				out.strs[k] = lv.strs[k] + rv.strs[k]
+			}
+			return nil
+		}}, true
+	default:
+		return vecExpr{}, false
+	}
+}
+
+func (vc *vecCompiler) compileBetween(ex BetweenExpr) (vecExpr, bool) {
+	c, ok := vc.compile(ex.Expr)
+	if !ok {
+		return vecExpr{}, false
+	}
+	lo, ok := vc.compile(ex.Lo)
+	if !ok || !comparableKinds(c.kind, lo.kind) {
+		return vecExpr{}, false
+	}
+	hi, ok := vc.compile(ex.Hi)
+	if !ok || !comparableKinds(c.kind, hi.kind) {
+		return vecExpr{}, false
+	}
+	not := ex.Not
+	return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+		var cv, lv, hv vec
+		if err := c.eval(sel, &cv); err != nil {
+			return err
+		}
+		if err := lo.eval(sel, &lv); err != nil {
+			return err
+		}
+		if err := hi.eval(sel, &hv); err != nil {
+			return err
+		}
+		out.reset(engine.TypeBool, len(sel))
+		for k := range out.bools {
+			if cv.null[k] {
+				out.null[k] = true
+				continue
+			}
+			if lv.null[k] || hv.null[k] {
+				// Match the row path: a NULL bound still compares (NULL
+				// sorts first), because the row evaluator calls
+				// engine.Compare on the boxed values.
+				in := engine.Compare(cv.valueAt(k), lv.valueAt(k)) >= 0 &&
+					engine.Compare(cv.valueAt(k), hv.valueAt(k)) <= 0
+				out.bools[k] = in != not
+				continue
+			}
+			var in bool
+			if cv.kind == engine.TypeString {
+				in = cv.strs[k] >= lv.strs[k] && cv.strs[k] <= hv.strs[k]
+			} else if cv.kind == engine.TypeInt && lv.kind == engine.TypeInt && hv.kind == engine.TypeInt {
+				in = cv.ints[k] >= lv.ints[k] && cv.ints[k] <= hv.ints[k]
+			} else {
+				f := cv.floatAt(k)
+				in = f >= lv.floatAt(k) && f <= hv.floatAt(k)
+			}
+			out.bools[k] = in != not
+		}
+		return nil
+	}}, true
+}
+
+func (vc *vecCompiler) compileIn(ex InExpr) (vecExpr, bool) {
+	c, ok := vc.compile(ex.Expr)
+	if !ok {
+		return vecExpr{}, false
+	}
+	// Only literal lists vectorize. NULL literals can never compare
+	// equal (the row path's engine.Equal never matches them), so they
+	// are dropped.
+	var lits []engine.Value
+	for _, le := range ex.List {
+		lit, isLit := le.(Literal)
+		if !isLit {
+			return vecExpr{}, false
+		}
+		if lit.Val.Kind == engine.TypeNull {
+			continue
+		}
+		if !comparableKinds(c.kind, lit.Val.Kind) {
+			return vecExpr{}, false
+		}
+		lits = append(lits, lit.Val)
+	}
+	not := ex.Not
+	if len(lits) == 0 {
+		// Every literal was NULL (or the list was empty): no value can
+		// match, so the result is constant `not` for non-null inputs,
+		// NULL for null inputs — same as the row path's miss case.
+		return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+			var cv vec
+			if err := c.eval(sel, &cv); err != nil {
+				return err
+			}
+			out.reset(engine.TypeBool, len(sel))
+			for k := range sel {
+				if cv.null[k] {
+					out.null[k] = true
+					continue
+				}
+				out.bools[k] = not
+			}
+			return nil
+		}}, true
+	}
+	if c.kind == engine.TypeString {
+		set := make(map[string]bool, len(lits))
+		for _, v := range lits {
+			set[v.S] = true
+		}
+		return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+			var cv vec
+			if err := c.eval(sel, &cv); err != nil {
+				return err
+			}
+			out.reset(engine.TypeBool, len(sel))
+			for k := range out.bools {
+				if cv.null[k] {
+					out.null[k] = true
+					continue
+				}
+				out.bools[k] = set[cv.strs[k]] != not
+			}
+			return nil
+		}}, true
+	}
+	allInt := c.kind == engine.TypeInt
+	for _, v := range lits {
+		if v.Kind != engine.TypeInt {
+			allInt = false
+		}
+	}
+	if allInt {
+		set := make(map[int64]bool, len(lits))
+		for _, v := range lits {
+			set[v.I] = true
+		}
+		return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+			var cv vec
+			if err := c.eval(sel, &cv); err != nil {
+				return err
+			}
+			out.reset(engine.TypeBool, len(sel))
+			for k := range out.bools {
+				if cv.null[k] {
+					out.null[k] = true
+					continue
+				}
+				out.bools[k] = set[cv.ints[k]] != not
+			}
+			return nil
+		}}, true
+	}
+	floats := make([]float64, len(lits))
+	for i, v := range lits {
+		floats[i] = v.AsFloat()
+	}
+	return vecExpr{kind: engine.TypeBool, eval: func(sel []int32, out *vec) error {
+		var cv vec
+		if err := c.eval(sel, &cv); err != nil {
+			return err
+		}
+		out.reset(engine.TypeBool, len(sel))
+		for k := range out.bools {
+			if cv.null[k] {
+				out.null[k] = true
+				continue
+			}
+			f := cv.floatAt(k)
+			found := false
+			for _, lf := range floats {
+				if f == lf {
+					found = true
+					break
+				}
+			}
+			out.bools[k] = found != not
+		}
+		return nil
+	}}, true
+}
+
+// ---------- drivers ----------
+
+// identitySel returns the selection vector 0..n-1.
+func identitySel(n int) []int32 {
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// runVecFilter applies the compiled predicate over sel, returning the
+// surviving selection. Large selections partition across workers; each
+// worker filters its chunk and the chunks concatenate in order, so the
+// output order matches the sequential scan.
+func runVecFilter(pred vecExpr, sel []int32) ([]int32, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(sel) < parallelScanRows || workers < 2 {
+		return filterChunk(pred, sel)
+	}
+	chunk := (len(sel) + workers - 1) / workers
+	type part struct {
+		kept []int32
+		err  error
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(sel) {
+			hi = len(sel)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			kept, err := filterChunk(pred, sel[lo:hi])
+			parts[w] = part{kept, err}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		total += len(p.kept)
+	}
+	out := make([]int32, 0, total)
+	for _, p := range parts {
+		out = append(out, p.kept...)
+	}
+	return out, nil
+}
+
+func filterChunk(pred vecExpr, sel []int32) ([]int32, error) {
+	var out vec
+	if err := pred.eval(sel, &out); err != nil {
+		return nil, err
+	}
+	kept := make([]int32, 0, len(sel))
+	for k, i := range sel {
+		if out.bools[k] && !out.null[k] {
+			kept = append(kept, i)
+		}
+	}
+	return kept, nil
+}
+
+// ---------- batch hash join ----------
+
+// vecHashJoin joins the selected left rows against the right batch on
+// key equality (left column lIdx = right column rIdx), returning the
+// combined batch. ok=false when the key columns are not joinable in
+// typed form (generic columns, bools, string-vs-number), in which case
+// the caller falls back to the row join.
+func vecHashJoin(lb *engine.ColumnBatch, lsel []int32, rb *engine.ColumnBatch,
+	lIdx, rIdx int, kind JoinKind, combined engine.Schema) (*engine.ColumnBatch, bool) {
+	lc, rc := &lb.Cols[lIdx], &rb.Cols[rIdx]
+	var lrows, rrows []int32
+	left := kind == JoinLeft
+
+	switch {
+	case lc.Kind == engine.TypeInt && rc.Kind == engine.TypeInt:
+		build := make(map[int64][]int32, rb.NumRows)
+		for i, v := range rc.Ints {
+			if !rc.Nulls.Get(i) {
+				build[v] = append(build[v], int32(i))
+			}
+		}
+		lrows, rrows = probeJoin(lsel, left, func(i int32) ([]int32, bool) {
+			if lc.Nulls.Get(int(i)) {
+				return nil, false
+			}
+			return build[lc.Ints[i]], true
+		})
+	case isNumericKind(lc.Kind) && isNumericKind(rc.Kind):
+		// Mixed int/float keys: promote to float64, matching the row
+		// path's numeric valueKey equivalence (1 joins 1.0).
+		build := make(map[float64][]int32, rb.NumRows)
+		for i := 0; i < rb.NumRows; i++ {
+			if rc.Nulls.Get(i) {
+				continue
+			}
+			k := colFloat(rc, i)
+			build[k] = append(build[k], int32(i))
+		}
+		lrows, rrows = probeJoin(lsel, left, func(i int32) ([]int32, bool) {
+			if lc.Nulls.Get(int(i)) {
+				return nil, false
+			}
+			return build[colFloat(lc, int(i))], true
+		})
+	case lc.Kind == engine.TypeString && rc.Kind == engine.TypeString:
+		build := make(map[string][]int32, rb.NumRows)
+		for i, v := range rc.Strs {
+			if !rc.Nulls.Get(i) {
+				build[v] = append(build[v], int32(i))
+			}
+		}
+		lrows, rrows = probeJoin(lsel, left, func(i int32) ([]int32, bool) {
+			if lc.Nulls.Get(int(i)) {
+				return nil, false
+			}
+			return build[lc.Strs[i]], true
+		})
+	default:
+		return nil, false
+	}
+
+	out := &engine.ColumnBatch{Schema: combined, Cols: make([]engine.ColVec, len(lb.Cols)+len(rb.Cols)), NumRows: len(lrows)}
+	for j := range lb.Cols {
+		out.Cols[j] = gatherVec(&lb.Cols[j], lrows)
+	}
+	for j := range rb.Cols {
+		out.Cols[len(lb.Cols)+j] = gatherVec(&rb.Cols[j], rrows)
+	}
+	return out, true
+}
+
+func colFloat(c *engine.ColVec, i int) float64 {
+	if c.Kind == engine.TypeInt {
+		return float64(c.Ints[i])
+	}
+	return c.Floats[i]
+}
+
+// probeJoin walks the probe side emitting (leftRow, rightRow) index
+// pairs; a -1 right row marks LEFT JOIN null padding.
+func probeJoin(lsel []int32, left bool, lookup func(i int32) ([]int32, bool)) (lrows, rrows []int32) {
+	lrows = make([]int32, 0, len(lsel))
+	rrows = make([]int32, 0, len(lsel))
+	for _, i := range lsel {
+		matches, _ := lookup(i)
+		if len(matches) == 0 {
+			if left {
+				lrows = append(lrows, i)
+				rrows = append(rrows, -1)
+			}
+			continue
+		}
+		for _, r := range matches {
+			lrows = append(lrows, i)
+			rrows = append(rrows, r)
+		}
+	}
+	return lrows, rrows
+}
+
+// gatherVec materialises src at the given row indices; -1 gathers NULL.
+func gatherVec(src *engine.ColVec, rows []int32) engine.ColVec {
+	out := engine.ColVec{Kind: src.Kind}
+	if src.Kind == engine.TypeNull {
+		out.Any = make([]engine.Value, len(rows))
+		for k, r := range rows {
+			if r < 0 {
+				out.Any[k] = engine.Null
+			} else {
+				out.Any[k] = src.Any[r]
+			}
+		}
+		return out
+	}
+	setNull := func(k int, r int32) bool {
+		if r < 0 || src.Nulls.Get(int(r)) {
+			out.Nulls.Set(k)
+			return true
+		}
+		return false
+	}
+	switch src.Kind {
+	case engine.TypeInt:
+		out.Ints = make([]int64, len(rows))
+		for k, r := range rows {
+			if !setNull(k, r) {
+				out.Ints[k] = src.Ints[r]
+			}
+		}
+	case engine.TypeFloat:
+		out.Floats = make([]float64, len(rows))
+		for k, r := range rows {
+			if !setNull(k, r) {
+				out.Floats[k] = src.Floats[r]
+			}
+		}
+	case engine.TypeString:
+		out.Strs = make([]string, len(rows))
+		for k, r := range rows {
+			if !setNull(k, r) {
+				out.Strs[k] = src.Strs[r]
+			}
+		}
+	case engine.TypeBool:
+		out.Bools = make([]bool, len(rows))
+		for k, r := range rows {
+			if !setNull(k, r) {
+				out.Bools[k] = src.Bools[r]
+			}
+		}
+	}
+	return out
+}
+
+// materializeRows boxes the selected batch rows into tuples, carving
+// them from one arena (the bridge from the vectorized pipeline back to
+// the row-at-a-time fallback).
+func materializeRows(b *engine.ColumnBatch, sel []int32) []engine.Tuple {
+	if sel == nil {
+		return b.ToRelation().Tuples
+	}
+	ncols := len(b.Cols)
+	rows := make([]engine.Tuple, len(sel))
+	arena := make([]engine.Value, len(sel)*ncols)
+	for k := range sel {
+		rows[k] = engine.Tuple(arena[k*ncols : (k+1)*ncols : (k+1)*ncols])
+	}
+	for j := range b.Cols {
+		c := &b.Cols[j]
+		for k, i := range sel {
+			arena[k*ncols+j] = c.Value(int(i))
+		}
+	}
+	return rows
+}
