@@ -1,50 +1,68 @@
 #!/usr/bin/env bash
-# bench.sh — run the E-series experiment benchmarks plus the relational
-# executor benchmarks with -benchmem and snapshot the numbers into
-# BENCH_relational.json, so the perf trajectory is tracked PR over PR.
+# bench.sh — run the E-series experiment benchmarks, the relational
+# executor benchmarks and the CAST pushdown benchmarks with -benchmem,
+# snapshotting the numbers into BENCH_relational.json and
+# BENCH_cast_pushdown.json so the perf trajectory is tracked PR over PR.
+#
+# BENCH_cast_pushdown.json records the planner acceptance scenario:
+# bytes moved (wire_bytes/op) and elapsed time for a selective CAST
+# with pushdown on vs off at 10k and 100k rows, plus the end-to-end
+# island query with the planner on vs off.
 #
 # Usage:
 #   ./bench.sh                # default -benchtime (stable numbers, slow)
 #   BENCHTIME=5x ./bench.sh   # quick smoke numbers
-#   OUT=snap.json ./bench.sh  # alternate output path
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BENCHTIME="${BENCHTIME:-1s}"
-OUT="${OUT:-BENCH_relational.json}"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+OUT_RELATIONAL="${OUT_RELATIONAL:-BENCH_relational.json}"
+OUT_PUSHDOWN="${OUT_PUSHDOWN:-BENCH_cast_pushdown.json}"
 
 run() {
-  local pkg="$1" pattern="$2"
+  local raw="$1" pkg="$2" pattern="$3"
   echo ">> go test -run '^$' -bench '$pattern' -benchmem -benchtime $BENCHTIME $pkg" >&2
-  go test -run '^$' -bench "$pattern" -benchmem -benchtime "$BENCHTIME" "$pkg" | tee -a "$RAW"
+  go test -run '^$' -bench "$pattern" -benchmem -benchtime "$BENCHTIME" "$pkg" | tee -a "$raw"
 }
+
+# Parse `BenchmarkName  N  ns/op  B/op  allocs/op  [wire_bytes/op]`
+# lines into a JSON array.
+to_json() {
+  local raw="$1" out="$2"
+  awk -v out="$out" '
+  BEGIN { print "[" > out; first = 1 }
+  /^Benchmark/ && NF >= 3 {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""; wire = ""
+    for (i = 3; i < NF; i++) {
+      if ($(i+1) == "ns/op")         ns = $i
+      if ($(i+1) == "B/op")          bytes = $i
+      if ($(i+1) == "allocs/op")     allocs = $i
+      if ($(i+1) == "wire_bytes/op") wire = $i
+    }
+    if (ns == "") next
+    if (!first) print "," >> out
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns >> out
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes >> out
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs >> out
+    if (wire != "")   printf ", \"wire_bytes_per_op\": %s", wire >> out
+    printf "}" >> out
+  }
+  END { print "\n]" >> out }
+  ' "$raw"
+  echo "wrote $(grep -c '"name"' "$out") benchmark entries to $out" >&2
+}
+
+RAW_RELATIONAL="$(mktemp)"
+RAW_PUSHDOWN="$(mktemp)"
+trap 'rm -f "$RAW_RELATIONAL" "$RAW_PUSHDOWN"' EXIT
 
 # E-series experiment benchmarks at the repo root.
-run . 'BenchmarkE[0-9]'
+run "$RAW_RELATIONAL" . 'BenchmarkE[0-9]'
 # Relational executor benchmarks: row vs vectorized, DML index path.
-run ./internal/relational 'Benchmark'
+run "$RAW_RELATIONAL" ./internal/relational 'Benchmark'
+to_json "$RAW_RELATIONAL" "$OUT_RELATIONAL"
 
-# Parse `BenchmarkName  N  ns/op  B/op  allocs/op` lines into JSON.
-awk -v out="$OUT" '
-BEGIN { print "[" > out; first = 1 }
-/^Benchmark/ && NF >= 3 {
-  name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
-  for (i = 3; i < NF; i++) {
-    if ($(i+1) == "ns/op")     ns = $i
-    if ($(i+1) == "B/op")      bytes = $i
-    if ($(i+1) == "allocs/op") allocs = $i
-  }
-  if (ns == "") next
-  if (!first) print "," >> out
-  first = 0
-  printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns >> out
-  if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes >> out
-  if (allocs != "") printf ", \"allocs_per_op\": %s", allocs >> out
-  printf "}" >> out
-}
-END { print "\n]" >> out }
-' "$RAW"
-
-echo "wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT" >&2
+# CAST pushdown: bytes moved + latency, planner on/off, 10k/100k rows.
+run "$RAW_PUSHDOWN" ./internal/core 'BenchmarkCastPushdown|BenchmarkQueryPushdown'
+to_json "$RAW_PUSHDOWN" "$OUT_PUSHDOWN"

@@ -1,5 +1,5 @@
 // Package repro holds the top-level benchmark harness: one testing.B
-// benchmark per experiment in DESIGN.md (E1–E10) plus the two figure
+// benchmark per experiment in DESIGN.md (E1–E11) plus the two figure
 // reproductions (F1 architecture wiring, F2 SeeDB visualisation).
 // `go test -bench=. -benchmem` regenerates per-operation numbers;
 // `go run ./cmd/benchrunner` prints the full comparison tables.
@@ -140,8 +140,8 @@ func TestExperimentsRunAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 10 {
-		t.Fatalf("expected 10 experiment tables, got %d", len(tables))
+	if len(tables) != 11 {
+		t.Fatalf("expected 11 experiment tables, got %d", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {
@@ -556,6 +556,44 @@ func BenchmarkE10_EngineSpecialisation(b *testing.B) {
 	}
 	for name, q := range cases {
 		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, p, q)
+			}
+		})
+	}
+}
+
+// ---------- E11 ----------
+
+// BenchmarkE11_CastPushdown: the selective cross-island query with the
+// pushdown planner on vs off — the E11 experiment as a benchmark.
+func BenchmarkE11_CastPushdown(b *testing.B) {
+	p := core.New()
+	schema := engine.NewSchema(
+		engine.Col("id", engine.TypeInt), engine.Col("a", engine.TypeInt),
+		engine.Col("b", engine.TypeFloat), engine.Col("c", engine.TypeString),
+		engine.Col("d", engine.TypeString), engine.Col("e", engine.TypeFloat),
+	)
+	rel := engine.NewRelation(schema)
+	for i := 0; i < 20_000; i++ {
+		_ = rel.Append(engine.Tuple{
+			engine.NewInt(int64(i)), engine.NewInt(int64(i % 100)),
+			engine.NewFloat(float64(i) * 0.5), engine.NewString(fmt.Sprintf("name_%06d", i)),
+			engine.NewString("xxxxxxxxxxxxxxxxxxxx"), engine.NewFloat(float64(i)),
+		})
+	}
+	if err := p.Load(core.EnginePostgres, "big", rel, core.CastOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	const q = `RELATIONAL(SELECT a, b FROM CAST(big, relation) WHERE a < 10)`
+	for _, on := range []bool{false, true} {
+		name := "planner=off"
+		if on {
+			name = "planner=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p.SetPushdown(on)
+			defer p.SetPushdown(true)
 			for i := 0; i < b.N; i++ {
 				mustQuery(b, p, q)
 			}

@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every experiment table of the
-// reproduction (E1–E10 in DESIGN.md) and prints them in the format
+// reproduction (E1–E11 in DESIGN.md) and prints them in the format
 // recorded in EXPERIMENTS.md.
 //
 // Usage:

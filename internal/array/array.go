@@ -234,6 +234,12 @@ func (a *Array) cellSchema() engine.Schema {
 	return engine.Schema{Columns: cols}
 }
 
+// Schema returns the relation schema of the array's flattened cells
+// (dimension columns, then attribute columns) without materialising
+// them — what Scan would produce. The polystore's pushdown planner uses
+// it to validate predicates against array-resident objects.
+func (a *Array) Schema() engine.Schema { return a.cellSchema() }
+
 // Scan flattens the array into a relation with one row per populated
 // cell: dimension columns followed by attribute columns. This is the
 // CAST egress path from the array island.

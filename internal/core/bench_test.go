@@ -1,0 +1,82 @@
+package core
+
+// Benchmarks for the cross-island CAST pushdown planner. The scenario
+// is the acceptance case from the planner's design: a 6-column table,
+// a ≤10% selective predicate, 2 referenced columns — pushdown should
+// move ~5x+ fewer bytes and finish correspondingly faster than the
+// migrate-everything baseline. bench.sh snapshots these numbers into
+// BENCH_cast_pushdown.json; wire_bytes/op is the custom metric that
+// records CastResult.Bytes.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchStore memoizes one polystore per table size across sub-benchmarks.
+var benchStores = map[int]*Polystore{}
+
+func pushdownStore(b *testing.B, rows int) *Polystore {
+	b.Helper()
+	if p, ok := benchStores[rows]; ok {
+		return p
+	}
+	p := New()
+	bigTable(b, p, "big", rows)
+	benchStores[rows] = p
+	return p
+}
+
+func BenchmarkCastPushdown(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		for _, pushed := range []bool{false, true} {
+			name := fmt.Sprintf("rows=%d/full", rows)
+			opts := CastOptions{}
+			if pushed {
+				name = fmt.Sprintf("rows=%d/pushdown", rows)
+				opts.Predicate, opts.Columns = "a < 10", []string{"a", "b"}
+			}
+			b.Run(name, func(b *testing.B) {
+				p := pushdownStore(b, rows)
+				var bytes int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := p.Cast("big", EnginePostgres, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bytes = res.Bytes
+					b.StopTimer()
+					p.dropTempObjects([]string{res.Target})
+					b.StartTimer()
+				}
+				b.ReportMetric(float64(bytes), "wire_bytes/op")
+			})
+		}
+	}
+}
+
+// BenchmarkQueryPushdown measures the end-to-end island query — parse,
+// plan, migrate, execute, clean up — with the planner on vs off.
+func BenchmarkQueryPushdown(b *testing.B) {
+	const q = `RELATIONAL(SELECT a, b FROM CAST(big, relation) WHERE a < 10)`
+	for _, rows := range []int{10_000, 100_000} {
+		for _, pushed := range []bool{false, true} {
+			name := fmt.Sprintf("rows=%d/planner=off", rows)
+			if pushed {
+				name = fmt.Sprintf("rows=%d/planner=on", rows)
+			}
+			b.Run(name, func(b *testing.B) {
+				p := pushdownStore(b, rows)
+				p.SetPushdown(pushed)
+				defer p.SetPushdown(true)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -23,12 +23,21 @@ import (
 // needed, §2.1), then the body is dispatched to the island. The first
 // argument of CAST may itself be a nested island query, which composes
 // cross-island pipelines.
+//
+// When pushdown is enabled (the default) the planner in planner.go
+// rewrites CAST-bearing bodies so each migration carries only the rows
+// and columns the island body can observe; SetPushdown(false) restores
+// the migrate-everything path. Either way, the temp objects a query
+// mints (cast copies, nested sub-results, shims) are dropped — catalog
+// entry and physical storage — before Query returns, so long-running
+// polystores no longer accumulate them.
 func (p *Polystore) Query(q string) (*engine.Relation, error) {
 	sq, err := parseScope(q)
 	if err != nil {
 		return nil, err
 	}
-	body, err := p.resolveCasts(sq.body)
+	body, temps, err := p.prepareBody(sq.island, sq.body)
+	defer p.dropTempObjects(temps)
 	if err != nil {
 		return nil, err
 	}
@@ -55,21 +64,38 @@ func (p *Polystore) Query(q string) (*engine.Relation, error) {
 }
 
 // resolveCasts rewrites every CAST(obj-or-query, target) in the body,
-// performing the migration and substituting the migrated object's name.
-func (p *Polystore) resolveCasts(body string) (string, error) {
-	for depthGuard := 0; depthGuard < 32; depthGuard++ {
+// performing the full (unfiltered) migration and substituting the
+// migrated object's name — the planner-off path, and the fallback for
+// bodies the planner cannot analyse. The minted temp names are returned
+// (also on error) so the caller can reclaim them after the query.
+func (p *Polystore) resolveCasts(body string) (string, []string, error) {
+	return p.resolveCastsBudget(body, maxCastsPerQuery)
+}
+
+// resolveCastsBudget is resolveCasts with an explicit CAST budget:
+// planners that already executed some of the body's CAST terms pass
+// the remainder, so a query resolves exactly maxCastsPerQuery terms —
+// and errors on one more — whether or not pushdown planned it.
+func (p *Polystore) resolveCastsBudget(body string, budget int) (string, []string, error) {
+	var temps []string
+	for resolved := 0; ; resolved++ {
 		start, end, ok := findCall(body, "CAST", 0)
 		if !ok {
-			return body, nil
+			return body, temps, nil
+		}
+		if resolved >= budget {
+			// Same boundary as extractCasts: exactly maxCastsPerQuery CAST
+			// terms resolve, one more errors — on both planner paths.
+			break
 		}
 		inner := body[start+len("CAST(") : end-1]
 		args := splitTopArgs(inner)
 		if len(args) != 2 {
-			return "", fmt.Errorf("core: CAST takes (object, target), got %q", inner)
+			return "", temps, fmt.Errorf("core: CAST takes (object, target), got %q", inner)
 		}
 		target, err := castTargetEngine(args[1])
 		if err != nil {
-			return "", err
+			return "", temps, err
 		}
 		src := strings.TrimSpace(args[0])
 		var castName string
@@ -77,22 +103,26 @@ func (p *Polystore) resolveCasts(body string) (string, error) {
 			// Nested island query: execute, then load the result.
 			rel, err := p.Query(src)
 			if err != nil {
-				return "", err
+				return "", temps, err
 			}
 			castName = p.tempName("subq")
+			temps = append(temps, castName)
 			if err := p.Load(target, castName, rel, CastOptions{}); err != nil {
-				return "", err
+				return "", temps, err
 			}
 		} else {
 			res, err := p.Cast(src, target, CastOptions{})
+			if res.Target != "" {
+				temps = append(temps, res.Target)
+			}
 			if err != nil {
-				return "", err
+				return "", temps, err
 			}
 			castName = res.Target
 		}
 		body = body[:start] + castName + body[end:]
 	}
-	return "", fmt.Errorf("core: too many nested CASTs")
+	return "", temps, fmt.Errorf("core: too many nested CASTs")
 }
 
 func looksLikeIslandQuery(s string) bool {
@@ -107,6 +137,9 @@ func looksLikeIslandQuery(s string) bool {
 // relationalIsland runs a SELECT with location transparency: tables
 // that live outside the relational engine are shimmed in (a temp copy
 // is cast over) before execution. This is the multi-engine SQL island.
+// Shim casts get the same pushdown analysis as explicit CASTs — the
+// query's own WHERE and column references travel down into the foreign
+// engine — and shim copies are dropped once the SELECT completes.
 func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
 	stmt, err := relational.Parse(body)
 	if err != nil {
@@ -116,7 +149,15 @@ func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: the RELATIONAL island accepts SELECT only (DDL/DML go to POSTGRES)")
 	}
-	shim := func(ref *relational.TableRef) error {
+	// Shim pushdown analysis is computed lazily, on the first table that
+	// actually needs a cross-engine shim: the common all-relational (or
+	// all-placeholder) SELECT never pays for a second analyzeTables pass
+	// on top of the planner's.
+	var tables []pdTable
+	analyzed := false
+	var temps []string
+	defer func() { p.dropTempObjects(temps) }()
+	shim := func(ref *relational.TableRef, ti int) error {
 		if ref == nil {
 			return nil
 		}
@@ -133,7 +174,18 @@ func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
 			}
 			return nil
 		}
-		res, err := p.Cast(ref.Name, EnginePostgres, CastOptions{})
+		if !analyzed && p.pushdownOn() {
+			tables = p.analyzeTables(sel, nil)
+			analyzed = true
+		}
+		opts := CastOptions{}
+		if tables != nil && ti < len(tables) {
+			opts.Predicate, opts.Columns = computePushdown(sel, tables, ti)
+		}
+		res, err := p.Cast(ref.Name, EnginePostgres, opts)
+		if res.Target != "" {
+			temps = append(temps, res.Target)
+		}
 		if err != nil {
 			return fmt.Errorf("core: shim %s from %s: %w", ref.Name, info.Engine, err)
 		}
@@ -143,11 +195,11 @@ func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
 		ref.Name = res.Target
 		return nil
 	}
-	if err := shim(sel.From); err != nil {
+	if err := shim(sel.From, 0); err != nil {
 		return nil, err
 	}
 	for i := range sel.Joins {
-		if err := shim(&sel.Joins[i].Table); err != nil {
+		if err := shim(&sel.Joins[i].Table, 1+i); err != nil {
 			return nil, err
 		}
 	}
@@ -155,8 +207,11 @@ func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
 }
 
 // arrayIsland runs an AFL query with location transparency: named
-// objects living outside the array engine are shimmed in first.
+// objects living outside the array engine are shimmed in first. Shim
+// copies are dropped once the query completes.
 func (p *Polystore) arrayIsland(body string) (*engine.Relation, error) {
+	var temps []string
+	defer func() { p.dropTempObjects(temps) }()
 	for _, obj := range p.Objects() {
 		if obj.Engine == EngineSciDB {
 			continue
@@ -165,6 +220,9 @@ func (p *Polystore) arrayIsland(body string) (*engine.Relation, error) {
 			continue
 		}
 		res, err := p.Cast(obj.Name, EngineSciDB, CastOptions{})
+		if res.Target != "" {
+			temps = append(temps, res.Target)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: shim %s from %s: %w", obj.Name, obj.Engine, err)
 		}
@@ -173,36 +231,41 @@ func (p *Polystore) arrayIsland(body string) (*engine.Relation, error) {
 	return p.ArrayStore.Query(body)
 }
 
-// containsWord reports a whole-word, case-insensitive occurrence
-// outside quotes.
-func containsWord(s, word string) bool {
+// countWord counts whole-word, case-insensitive, non-overlapping
+// occurrences outside quotes.
+func countWord(s, word string) int {
 	upper := strings.ToUpper(s)
 	uw := strings.ToUpper(word)
+	count := 0
 	inStr := false
-	for i := 0; i+len(uw) <= len(s); i++ {
+	for i := 0; i+len(uw) <= len(s); {
 		if inStr {
 			if s[i] == '\'' {
 				inStr = false
 			}
+			i++
 			continue
 		}
 		if s[i] == '\'' {
 			inStr = true
+			i++
 			continue
 		}
-		if !strings.HasPrefix(upper[i:], uw) {
+		if strings.HasPrefix(upper[i:], uw) &&
+			(i == 0 || !isWordChar(s[i-1])) &&
+			(i+len(uw) >= len(s) || !isWordChar(s[i+len(uw)])) {
+			count++
+			i += len(uw)
 			continue
 		}
-		if i > 0 && isWordChar(s[i-1]) {
-			continue
-		}
-		if i+len(uw) < len(s) && isWordChar(s[i+len(uw)]) {
-			continue
-		}
-		return true
+		i++
 	}
-	return false
+	return count
 }
+
+// containsWord reports a whole-word, case-insensitive occurrence
+// outside quotes.
+func containsWord(s, word string) bool { return countWord(s, word) > 0 }
 
 func replaceWord(s, word, with string) string {
 	upper := strings.ToUpper(s)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/engine"
 	"repro/internal/kvstore"
+	"repro/internal/relational"
 	"repro/internal/tiledb"
 )
 
@@ -45,6 +46,29 @@ type CastOptions struct {
 	ArrayDims []string
 	// Dense requests dense storage for array targets.
 	Dense bool
+	// Predicate, when non-empty, filters the migration at the source: a
+	// SQL expression (the shared predicate dialect every island's filter
+	// speaks via relational.CompileRowExpr) over the source object's own
+	// column names. Only rows satisfying it cross the wire. Relational
+	// sources evaluate it with the vectorized filter kernels on the
+	// column cache; array sources translate it to a native filter();
+	// every other engine filters the dumped relation before encoding.
+	// For SciDB targets the predicate is evaluated on the cells the
+	// loader will build (dim columns coerced to int coordinates,
+	// coordinate collisions resolved last-write-wins) rather than the
+	// raw rows, so pre-wire filtering commutes with the lossy
+	// relation→array transformation; dense SciDB loads ignore the
+	// predicate entirely (pre-filtering would change the inferred
+	// domain's fill cells), and TileDB targets reject it (their load is
+	// lossy the same way, with no cell-faithful filter). A SciDB-target
+	// predicate matching zero rows errors — arrays cannot be empty —
+	// rather than silently migrating everything; the planner falls back
+	// to a full cast itself in that case. Set by the cross-island
+	// pushdown planner, usable directly too.
+	Predicate string
+	// Columns, when non-empty, projects the migrated copy down to these
+	// source columns (in the given order) before the wire.
+	Columns []string
 }
 
 // CastResult describes a completed migration.
@@ -52,9 +76,13 @@ type CastResult struct {
 	Object   string
 	From, To EngineKind
 	Target   string // logical (and physical) name of the migrated copy
-	Rows     int
-	Bytes    int64
-	Elapsed  time.Duration
+	// Rows counts rows actually moved; RowsScanned counts source rows
+	// examined. With predicate pushdown the two diverge — their ratio is
+	// the selectivity the planner exploited.
+	Rows        int
+	RowsScanned int
+	Bytes       int64
+	Elapsed     time.Duration
 }
 
 // Cast migrates a catalog object to another engine, registering the
@@ -68,16 +96,27 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 		return CastResult{}, fmt.Errorf("core: unknown object %q", object)
 	}
 	res := CastResult{Object: object, From: info.Engine, To: to}
-
+	// TileDB loads re-key rows lossily (dim columns coerced with AsInt,
+	// coordinate collisions overwritten) and, unlike SciDB targets, have
+	// no cell-faithful filter — a raw-row predicate would not commute
+	// with the load. Refuse rather than migrate the wrong cells; filter
+	// after the cast instead. The planner never emits this combination.
+	if opts.Predicate != "" && to == EngineTileDB {
+		return res, fmt.Errorf("core: CastOptions.Predicate is not supported for TileDB targets (lossy coordinate load); filter after the cast")
+	}
 	// Direct casts out of the relational engine move columnar end to
 	// end: the table's column cache is encoded straight to the wire and
 	// decoded straight into a ColumnBatch — no per-row Tuple boxing
-	// anywhere on the transport.
-	if opts.Mode == CastDirect && info.Engine == EnginePostgres {
-		cb, err := p.Relational.DumpBatch(info.Physical)
+	// anywhere on the transport. SciDB targets with a predicate take the
+	// generic path below instead: their predicate must see the post-cast
+	// cells (see scidbCellFilter), not the raw rows this path filters.
+	if opts.Mode == CastDirect && info.Engine == EnginePostgres &&
+		!(opts.Predicate != "" && to == EngineSciDB) {
+		cb, scanned, applied, err := p.Relational.DumpBatchWhere(info.Physical, opts.Predicate, opts.Columns)
 		if err != nil {
 			return res, err
 		}
+		res.RowsScanned = scanned
 		out, nbytes, err := castDirectBatch(cb)
 		if err != nil {
 			return res, err
@@ -90,16 +129,18 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 		if err := p.LoadBatch(to, target, out, opts); err != nil {
 			return res, err
 		}
+		p.countCast(applied)
 		res.Target = target
 		res.Rows = out.NumRows
 		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 
-	rel, err := p.Dump(object)
+	rel, scanned, applied, err := p.dumpFiltered(info, to, opts)
 	if err != nil {
 		return res, err
 	}
+	res.RowsScanned = scanned
 
 	// Move the bytes through the selected transport.
 	switch opts.Mode {
@@ -158,10 +199,245 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 	if err := p.Load(to, target, rel, opts); err != nil {
 		return res, err
 	}
+	p.countCast(applied)
 	res.Target = target
 	res.Rows = rel.Len()
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// countCast records one completed migration in the pushed/full split
+// CastStats reports. It runs only once the copy has landed — a failed
+// migration counts as neither — and pushed means the shipped relation
+// actually went through a source-side filter or a non-identity
+// projection: a requested pushdown that was a no-op (cell filter with
+// no dims, identity projection) or that failed and was retried in full
+// counts as full, so the stats never over-report planner engagement.
+func (p *Polystore) countCast(pushed bool) {
+	if pushed {
+		p.castsPushed.Add(1)
+	} else {
+		p.castsFull.Add(1)
+	}
+}
+
+// dumpFiltered exports a catalog object as a relation with the cast's
+// predicate and projection applied at (or as close as possible to) the
+// source — the egress half of pushdown. Relational sources filter on
+// the column cache with the vectorized kernels; array sources translate
+// the predicate into the engine's native filter() operator; every other
+// engine dumps and filters the relation before it reaches the wire.
+// scanned reports source rows examined before filtering; applied
+// reports whether any filtering or projection actually ran.
+func (p *Polystore) dumpFiltered(info ObjectInfo, to EngineKind, opts CastOptions) (*engine.Relation, int, bool, error) {
+	if opts.Predicate == "" && len(opts.Columns) == 0 {
+		rel, err := p.Dump(info.Name)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		return rel, rel.Len(), false, nil
+	}
+	// SciDB targets: the loader re-keys the shipped rows into cells
+	// (dim values coerced to int coordinates, coordinate collisions
+	// overwritten), so a predicate filtered over the raw rows does not
+	// commute with filtering the landed array. Evaluate it on the cells
+	// the loader will build instead — whatever the source engine.
+	if opts.Predicate != "" && to == EngineSciDB {
+		rel, err := p.Dump(info.Name)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		scanned := rel.Len()
+		projected, err := projectRelation(rel, opts.Columns)
+		if err != nil {
+			return nil, scanned, false, err
+		}
+		applied := projected != rel
+		rel = projected
+		if !opts.Dense { // dense loads materialize domain fill cells; pre-filtering would change them
+			filtered, ok, err := scidbCellFilter(rel, opts.Predicate, opts.ArrayDims)
+			if err != nil {
+				return nil, scanned, false, err
+			}
+			rel, applied = filtered, applied || ok
+		}
+		return rel, scanned, applied, nil
+	}
+	switch info.Engine {
+	case EnginePostgres:
+		cb, scanned, applied, err := p.Relational.DumpBatchWhere(info.Physical, opts.Predicate, opts.Columns)
+		if err != nil {
+			return nil, scanned, false, err
+		}
+		return cb.ToRelation(), scanned, applied, nil
+	case EngineSciDB:
+		a, err := p.ArrayStore.Get(info.Physical)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		scanned := int(a.Count())
+		applied := false
+		if opts.Predicate != "" {
+			// The array island's filter() dialect is the same SQL
+			// expression grammar, so the predicate passes through verbatim.
+			a, err = a.Filter(opts.Predicate)
+			if err != nil {
+				return nil, scanned, false, err
+			}
+			applied = true
+		}
+		scanRel := a.Scan()
+		rel, err := projectRelation(scanRel, opts.Columns)
+		return rel, scanned, applied || rel != scanRel, err
+	default:
+		rel, err := p.Dump(info.Name)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		scanned := rel.Len()
+		out, err := filterProjectRelation(rel, opts.Predicate, opts.Columns)
+		return out, scanned, out != rel, err
+	}
+}
+
+// scidbCellFilter filters rel as the SciDB loader will see it: dim
+// columns (ArrayDims, or the leading INT columns exactly like
+// Polystore.Load) coerced to their int coordinates, coordinate
+// collisions resolved last-write-wins, the predicate evaluated on the
+// final cell of each coordinate — dims first, then attributes, the
+// cell schema Array.Filter exposes. Only final-writer rows whose cell
+// passes are shipped, so filtering before the wire commutes with the
+// lossy relation→array transformation (NULL dims coerce to 0,
+// colliding rows overwrite) and the island's own filter() over the
+// landed copy is a no-op re-check. When the loader would synthesize a
+// row-number dimension (no leading INT column), pre-filtering would
+// renumber it, so the relation ships unfiltered (filtered=false).
+func scidbCellFilter(rel *engine.Relation, predicate string, dimNames []string) (*engine.Relation, bool, error) {
+	dims := dimNames
+	if len(dims) == 0 {
+		dims = leadingIntColumns(rel)
+	}
+	if len(dims) == 0 {
+		return rel, false, nil
+	}
+	dimIdx := make([]int, len(dims))
+	isDim := map[int]bool{}
+	for i, dn := range dims {
+		j := rel.Schema.Index(dn)
+		if j < 0 {
+			return nil, false, fmt.Errorf("core: pushdown: no dim column %q", dn)
+		}
+		dimIdx[i] = j
+		isDim[j] = true
+	}
+	var attrIdx []int
+	cellCols := make([]engine.Column, 0, len(rel.Schema.Columns))
+	for _, j := range dimIdx {
+		cellCols = append(cellCols, engine.Col(rel.Schema.Columns[j].Name, engine.TypeInt))
+	}
+	for j, c := range rel.Schema.Columns {
+		if !isDim[j] {
+			attrIdx = append(attrIdx, j)
+			cellCols = append(cellCols, c)
+		}
+	}
+	ev, err := relational.CompileRowExpr(predicate, cellCols)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: pushdown predicate: %w", err)
+	}
+
+	winner := make(map[string]int, len(rel.Tuples))
+	keys := make([]string, len(rel.Tuples))
+	var key strings.Builder
+	for i, t := range rel.Tuples {
+		key.Reset()
+		for _, j := range dimIdx {
+			fmt.Fprintf(&key, "%d,", t[j].AsInt())
+		}
+		keys[i] = key.String()
+		winner[keys[i]] = i
+	}
+	kept := rel.Tuples[:0:0]
+	cell := make(engine.Tuple, len(cellCols))
+	for i, t := range rel.Tuples {
+		if winner[keys[i]] != i {
+			continue // overwritten by a later row at the same coordinate
+		}
+		for k, j := range dimIdx {
+			cell[k] = engine.NewInt(t[j].AsInt())
+		}
+		for k, j := range attrIdx {
+			cell[len(dimIdx)+k] = t[j]
+		}
+		v, err := ev(cell)
+		if err != nil {
+			return nil, false, err
+		}
+		if !v.IsNull() && v.AsBool() {
+			kept = append(kept, t)
+		}
+	}
+	return &engine.Relation{Schema: rel.Schema, Tuples: kept}, true, nil
+}
+
+// filterProjectRelation applies a pushdown predicate and projection to
+// an already-dumped relation — the generic fallback for engines with no
+// native filtered scan (kv range scans excepted, stream windows,
+// TileDB). The input relation is consumed (tuples may be re-sliced).
+func filterProjectRelation(rel *engine.Relation, predicate string, columns []string) (*engine.Relation, error) {
+	if predicate != "" {
+		ev, err := relational.CompileRowExpr(predicate, rel.Schema.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("core: pushdown predicate: %w", err)
+		}
+		kept := rel.Tuples[:0:0]
+		for _, t := range rel.Tuples {
+			v, err := ev(t)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsNull() && v.AsBool() {
+				kept = append(kept, t)
+			}
+		}
+		rel = &engine.Relation{Schema: rel.Schema, Tuples: kept}
+	}
+	return projectRelation(rel, columns)
+}
+
+// projectRelation restricts a relation to the named columns, in order.
+func projectRelation(rel *engine.Relation, columns []string) (*engine.Relation, error) {
+	if len(columns) == 0 {
+		return rel, nil
+	}
+	idx := make([]int, len(columns))
+	cols := make([]engine.Column, len(columns))
+	identity := len(columns) == len(rel.Schema.Columns)
+	for k, name := range columns {
+		j := rel.Schema.Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("core: pushdown projection: no column %q", name)
+		}
+		idx[k] = j
+		cols[k] = rel.Schema.Columns[j]
+		if j != k {
+			identity = false
+		}
+	}
+	if identity {
+		return rel, nil
+	}
+	out := engine.NewRelation(engine.Schema{Columns: cols})
+	out.Tuples = make([]engine.Tuple, len(rel.Tuples))
+	arena := make([]engine.Value, len(rel.Tuples)*len(idx))
+	for i, t := range rel.Tuples {
+		row := arena[i*len(idx) : (i+1)*len(idx) : (i+1)*len(idx)]
+		for k, j := range idx {
+			row[k] = t[j]
+		}
+		out.Tuples[i] = row
+	}
+	return out, nil
 }
 
 // parallelCastRows is the cardinality at which the direct transport
@@ -306,6 +582,12 @@ func (p *Polystore) Load(to EngineKind, name string, rel *engine.Relation, opts 
 // in the kvstore dump shape load natively; anything else maps row i,
 // column c to (row=<first column value>, family="data", qualifier=<column
 // name>, value=<cell>) — the generic D4M-style exploded layout.
+//
+// Keys and timestamps are derived purely from cell content, never from
+// the row's position in the relation: a filtered (pushdown) migration
+// must produce the same entries for the rows it keeps as a full
+// migration would, or the planner's row-range pushdown would change
+// scan results.
 func (p *Polystore) loadKV(name string, rel *engine.Relation) error {
 	if isKVDumpShape(rel.Schema) {
 		return p.KV.LoadRelation(name, rel)
@@ -317,16 +599,13 @@ func (p *Polystore) loadKV(name string, rel *engine.Relation) error {
 		return err
 	}
 	var es []kvstore.Entry
-	for i, t := range rel.Tuples {
+	for _, t := range rel.Tuples {
 		rowKey := t[0].String()
-		if rowKey == "" {
-			rowKey = fmt.Sprintf("row%08d", i)
-		}
 		for j := 1; j < len(t); j++ {
 			es = append(es, kvstore.Entry{
 				Key: kvstore.Key{
 					Row: rowKey, Family: "data",
-					Qualifier: rel.Schema.Columns[j].Name, Timestamp: int64(i),
+					Qualifier: rel.Schema.Columns[j].Name, Timestamp: 0,
 				},
 				Value: t[j].String(),
 			})

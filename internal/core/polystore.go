@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/array"
 	"repro/internal/engine"
@@ -57,10 +58,25 @@ type Polystore struct {
 	Streams    *stream.Engine
 	Monitor    *monitor.Monitor
 
-	mu      sync.RWMutex
-	catalog map[string]ObjectInfo
-	tile    map[string]*tiledb.Array
-	tempSeq int
+	mu       sync.RWMutex
+	catalog  map[string]ObjectInfo
+	tile     map[string]*tiledb.Array
+	tempSeq  int
+	pushdown bool
+
+	// CAST accounting: migrations where a source-side predicate or
+	// projection actually applied vs full-object migrations (a requested
+	// pushdown that fell back counts as full). Tests assert the planner
+	// actually engages; CastStats exposes the split.
+	castsPushed atomic.Int64
+	castsFull   atomic.Int64
+}
+
+// CastStats reports how many CASTs actually ran with pushdown (a
+// source-side predicate or projection applied before the wire) versus
+// migrating the whole object.
+func (p *Polystore) CastStats() (pushed, full int64) {
+	return p.castsPushed.Load(), p.castsFull.Load()
 }
 
 // New assembles a polystore with fresh engines.
@@ -73,7 +89,24 @@ func New() *Polystore {
 		Monitor:    monitor.New(),
 		catalog:    map[string]ObjectInfo{},
 		tile:       map[string]*tiledb.Array{},
+		pushdown:   true,
 	}
+}
+
+// SetPushdown toggles the cross-island CAST pushdown planner (on by
+// default). With it off, every CAST migrates its source object in full
+// and the island body does all filtering after the move — the baseline
+// the planner is benchmarked (and differentially tested) against.
+func (p *Polystore) SetPushdown(on bool) {
+	p.mu.Lock()
+	p.pushdown = on
+	p.mu.Unlock()
+}
+
+func (p *Polystore) pushdownOn() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pushdown
 }
 
 // Register adds a catalog entry for an object already present in its

@@ -1,0 +1,106 @@
+package core
+
+// Concurrency stress: one Polystore, many goroutines mixing reads
+// (Query across all islands, with and without CAST), writes (Cast,
+// Register/Deregister of worker-private objects) and metadata calls.
+// Run under `go test -race` (CI does) — the point is to surface
+// catalog and engine races, not to assert timing. Queries touch only
+// shared objects that never change plus worker-private names, so every
+// operation is expected to succeed even under full interleaving.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestConcurrentQueryCastRegister(t *testing.T) {
+	p := demoStore(t)
+	workers := 8
+	iters := 40
+	if testing.Short() {
+		workers, iters = 4, 15
+	}
+
+	queries := []string{
+		`RELATIONAL(SELECT * FROM CAST(wf, relation) WHERE v > 1.5)`,
+		`RELATIONAL(SELECT COUNT(*) FROM wf WHERE v >= 1)`,
+		`ARRAY(aggregate(filter(CAST(patients, array), age > 60), avg(age)))`,
+		`TEXT(scan(CAST(patients, text), '1', '3'))`,
+		`RELATIONAL(SELECT COUNT(*) AS n FROM CAST(ARRAY(filter(wf, v > 1.5)), relation))`,
+		`TEXT(search(notes, 'very sick', 3))`,
+		`STREAM(window(vitals))`,
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(5) {
+				case 0, 1: // cross-island queries, planner racing itself
+					q := queries[rng.Intn(len(queries))]
+					if _, err := p.Query(q); err != nil {
+						errs <- fmt.Errorf("worker %d: %s: %w", w, q, err)
+						return
+					}
+				case 2: // direct CASTs, pushed and full, cleaned up after
+					opts := CastOptions{}
+					if rng.Intn(2) == 0 {
+						opts.Predicate, opts.Columns = "age > 60", []string{"id", "age"}
+					}
+					res, err := p.Cast("patients", EnginePostgres, opts)
+					if err != nil {
+						errs <- fmt.Errorf("worker %d: cast: %w", w, err)
+						return
+					}
+					p.dropTempObjects([]string{res.Target})
+				case 3: // churn a worker-private object through the catalog
+					name := fmt.Sprintf("stress_%d_%d", w, i)
+					rel := engine.NewRelation(engine.NewSchema(
+						engine.Col("k", engine.TypeInt), engine.Col("x", engine.TypeFloat)))
+					for r := 0; r < 5; r++ {
+						_ = rel.Append(engine.Tuple{engine.NewInt(int64(r)), engine.NewFloat(float64(r))})
+					}
+					if err := p.Load(EnginePostgres, name, rel, CastOptions{}); err != nil {
+						errs <- fmt.Errorf("worker %d: load: %w", w, err)
+						return
+					}
+					q := fmt.Sprintf(`RELATIONAL(SELECT COUNT(*) FROM %s WHERE x >= 0)`, name)
+					if _, err := p.Query(q); err != nil {
+						errs <- fmt.Errorf("worker %d: private query: %w", w, err)
+						return
+					}
+					p.dropTempObjects([]string{name})
+				default: // metadata reads racing the writers above
+					_ = p.Objects()
+					_, _ = p.Lookup("patients")
+					_, _ = p.CastStats()
+					p.SetPushdown(true) // racing toggles must be safe too
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The federation must be intact afterwards: shared objects still
+	// resolve and a final query still works.
+	for _, name := range []string{"patients", "wf", "notes", "vitals"} {
+		if _, ok := p.Lookup(name); !ok {
+			t.Errorf("shared object %s lost during stress", name)
+		}
+	}
+	if _, err := p.Query(queries[0]); err != nil {
+		t.Errorf("post-stress query: %v", err)
+	}
+}

@@ -85,7 +85,7 @@ func RunAll(cfg Config) ([]Table, error) {
 		E1PolystoreVsOneSize, E2CastBinaryVsCSV, E3StreamLatency,
 		E4SeeDBPruning, E5TuplewareFusion, E6AdaptivePlacement,
 		E7TightVsLooseCoupling, E8SearchlightSynopsis, E9ScalaRPrefetch,
-		E10EngineSpecialisation,
+		E10EngineSpecialisation, E11CastPushdown,
 	}
 	out := make([]Table, 0, len(runs))
 	for _, run := range runs {

@@ -129,6 +129,29 @@ func TestE10DiagonalWins(t *testing.T) {
 	}
 }
 
+func TestE11PushdownMovesLess(t *testing.T) {
+	tab, err := E11CastPushdown(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: full CAST, pushdown CAST, query planner off, query planner on.
+	fullBytes := cellFloat(t, tab, 0, 2)
+	pushedBytes := cellFloat(t, tab, 1, 2)
+	if fullBytes/pushedBytes < 5 {
+		t.Errorf("pushdown should move ≥5x fewer bytes: full=%v pushed=%v", fullBytes, pushedBytes)
+	}
+	fullRows := cellFloat(t, tab, 0, 1)
+	pushedRows := cellFloat(t, tab, 1, 1)
+	if pushedRows*10 != fullRows {
+		t.Errorf("10%% selectivity expected: %v of %v rows moved", pushedRows, fullRows)
+	}
+	// The planner must not change the query answer (checked inside E11
+	// too; this pins the reported row counts).
+	if cell(tab, 2, 1) != cell(tab, 3, 1) {
+		t.Errorf("planner changed result cardinality: %v vs %v", tab.Rows[2], tab.Rows[3])
+	}
+}
+
 func TestTableString(t *testing.T) {
 	tab := Table{
 		ID: "EX", Title: "demo", Claim: "c",

@@ -188,7 +188,12 @@ func (s *Store) PutBatch(table string, es []Entry) error {
 
 func (t *Table) ensureSorted() {
 	if !t.sorted {
-		sort.Slice(t.entries, func(i, j int) bool { return t.entries[i].Key.Less(t.entries[j].Key) })
+		// Stable: entries with fully identical keys (e.g. a migrated
+		// relation whose rows share a row-key value, all stamped ts=0)
+		// keep their insertion order, so scans are deterministic and a
+		// filtered (pushdown) load orders duplicates exactly as the full
+		// load would.
+		sort.SliceStable(t.entries, func(i, j int) bool { return t.entries[i].Key.Less(t.entries[j].Key) })
 		t.sorted = true
 	}
 }
