@@ -12,8 +12,50 @@
 # Usage:
 #   ./bench.sh                # default -benchtime (stable numbers, slow)
 #   BENCHTIME=5x ./bench.sh   # quick smoke numbers
+#   ./bench.sh --lint         # time the bigdawg-vet suite repo-wide,
+#                             # write BENCH_lint.json, exit 1 on findings
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# --lint: snapshot the static-analysis suite the way the benchmarks
+# snapshot perf — tool build time, repo-wide vet wall time, package
+# and finding counts — so analyzer cost is tracked PR over PR too.
+if [[ "${1:-}" == "--lint" ]]; then
+  OUT_LINT="${OUT_LINT:-BENCH_lint.json}"
+  TOOL_DIR="$(mktemp -d)"
+  FINDINGS="$(mktemp)"
+  trap 'rm -rf "$TOOL_DIR" "$FINDINGS"' EXIT
+
+  build_start=$(date +%s%N)
+  go build -o "$TOOL_DIR/bigdawg-vet" ./cmd/bigdawg-vet
+  build_ns=$(( $(date +%s%N) - build_start ))
+
+  vet_status=0
+  vet_start=$(date +%s%N)
+  go vet -vettool="$TOOL_DIR/bigdawg-vet" ./... 2> "$FINDINGS" || vet_status=$?
+  vet_ns=$(( $(date +%s%N) - vet_start ))
+
+  # Findings are "<pos>: <msg> (<analyzer>)" lines; go vet also echoes
+  # "# <package>" headers to stderr, so count only analyzer lines.
+  nfindings=$(grep -cE '\((lockheld|templeak|decodebounds|batchalias|errdrop)\)$' "$FINDINGS" || true)
+  npackages=$(go list ./... | wc -l | tr -d ' ')
+
+  cat > "$OUT_LINT" <<EOF
+{
+  "tool_build_ns": $build_ns,
+  "vet_wall_ns": $vet_ns,
+  "packages": $npackages,
+  "findings": $nfindings,
+  "clean": $([[ "$nfindings" -eq 0 && "$vet_status" -eq 0 ]] && echo true || echo false)
+}
+EOF
+  echo "wrote $OUT_LINT (packages=$npackages findings=$nfindings vet_wall_ns=$vet_ns)" >&2
+  if [[ "$nfindings" -gt 0 || "$vet_status" -ne 0 ]]; then
+    cat "$FINDINGS" >&2
+    exit 1
+  fi
+  exit 0
+fi
 
 BENCHTIME="${BENCHTIME:-1s}"
 OUT_RELATIONAL="${OUT_RELATIONAL:-BENCH_relational.json}"

@@ -1,0 +1,20 @@
+// Command bigdawg-vet is the repository's vet tool: five analyzers that
+// enforce polystore invariants across every package. Run it through the
+// go command so package resolution and export data come from the build
+// cache:
+//
+//	go build -o /tmp/bigdawg-vet ./cmd/bigdawg-vet
+//	go vet -vettool=/tmp/bigdawg-vet ./...
+//
+// See internal/lint/README.md for the analyzer catalogue and the
+// //lint:ignore suppression syntax.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

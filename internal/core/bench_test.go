@@ -41,14 +41,19 @@ func BenchmarkCastPushdown(b *testing.B) {
 				var bytes int64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res, err := p.Cast("big", EnginePostgres, opts)
-					if err != nil {
-						b.Fatal(err)
-					}
-					bytes = res.Bytes
-					b.StopTimer()
-					p.dropTempObjects([]string{res.Target})
-					b.StartTimer()
+					// Per-iteration closure so cleanup is deferred: the
+					// temp target is dropped even if the iteration bails,
+					// and the drop itself stays off the timer.
+					func() {
+						res, err := p.Cast("big", EnginePostgres, opts)
+						if err != nil {
+							b.Fatal(err)
+						}
+						bytes = res.Bytes
+						b.StopTimer()
+						defer b.StartTimer()
+						defer p.dropTempObjects([]string{res.Target})
+					}()
 				}
 				b.ReportMetric(float64(bytes), "wire_bytes/op")
 			})

@@ -267,7 +267,7 @@ func TestCastPredicateEdgeAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2.dropTempObjects([]string{res.Target})
+	defer p2.dropTempObjects([]string{res.Target})
 	if pushed, full := p2.CastStats(); pushed != 0 || full != 1 {
 		t.Errorf("identity projection counted as pushdown: pushed=%d full=%d", pushed, full)
 	}

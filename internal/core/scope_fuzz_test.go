@@ -231,12 +231,14 @@ func TestCastCountGuardBoundary(t *testing.T) {
 		ok bool
 	}{{maxCastsPerQuery, true}, {maxCastsPerQuery + 1, false}} {
 		_, temps, err := p.resolveCasts(body(tc.n))
+		//lint:ignore templeak per-iteration cleanup in a bounded table-driven loop; a defer would pile temps up until the test returns
 		p.dropTempObjects(temps)
 		if (err == nil) != tc.ok {
 			t.Errorf("resolveCasts with %d CAST terms: err=%v, want ok=%v", tc.n, err, tc.ok)
 		}
 		_, pend, err := p.extractCasts(body(tc.n))
 		for _, pc := range pend {
+			//lint:ignore templeak per-iteration cleanup in a bounded table-driven loop; a defer would pile temps up until the test returns
 			p.dropTempObjects([]string{pc.placeholder})
 		}
 		if (err == nil) != tc.ok {
@@ -249,6 +251,7 @@ func TestCastCountGuardBoundary(t *testing.T) {
 			arrTerms[i] = "filter(CAST(wf, array), v > 1.5)"
 		}
 		_, temps, err = p.planArray("f(" + strings.Join(arrTerms, ", ") + ")")
+		//lint:ignore templeak per-iteration cleanup in a bounded table-driven loop; a defer would pile temps up until the test returns
 		p.dropTempObjects(temps)
 		if (err == nil) != tc.ok {
 			t.Errorf("planArray with %d pushable CAST terms: err=%v, want ok=%v", tc.n, err, tc.ok)

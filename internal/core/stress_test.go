@@ -60,6 +60,7 @@ func TestConcurrentQueryCastRegister(t *testing.T) {
 						errs <- fmt.Errorf("worker %d: cast: %w", w, err)
 						return
 					}
+					//lint:ignore templeak hot stress loop drops per iteration on purpose; deferring would hoard workers*iters temp tables
 					p.dropTempObjects([]string{res.Target})
 				case 3: // churn a worker-private object through the catalog
 					name := fmt.Sprintf("stress_%d_%d", w, i)
@@ -77,6 +78,7 @@ func TestConcurrentQueryCastRegister(t *testing.T) {
 						errs <- fmt.Errorf("worker %d: private query: %w", w, err)
 						return
 					}
+					//lint:ignore templeak hot stress loop drops per iteration on purpose; deferring would hoard workers*iters temp tables
 					p.dropTempObjects([]string{name})
 				default: // metadata reads racing the writers above
 					_ = p.Objects()

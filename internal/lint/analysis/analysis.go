@@ -1,0 +1,74 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check, a
+// Pass hands it one type-checked package, and diagnostics are reported
+// through the Pass. The container deliberately vendors no third-party
+// modules, so bigdawg-vet builds its analyzers on this shim instead of
+// x/tools; the shapes match closely enough that porting an analyzer
+// between the two is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore suppression comments. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-line
+	// summary, the rest describes the invariant it enforces.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is one application of one analyzer to one package. It provides
+// the syntax trees, type information and a diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// IsStd reports whether an import path belongs to the Go standard
+	// library. Under `go vet -vettool=` this comes from the vet config's
+	// Standard map; the analysistest harness wires a constant false
+	// (fixtures import only fixture-local packages).
+	IsStd func(path string) bool
+
+	// Report delivers one diagnostic. The driver applies //lint:ignore
+	// suppressions after this returns, so analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo allocates a types.Info with every map analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,225 @@
+// Package analysistest runs an analyzer over golden fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture source
+// lives under <analyzer>/testdata/src/<pkgpath>/, and every line that
+// should be flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps if several diagnostics land on the
+// line). The test fails if a diagnostic has no matching want, or a want
+// has no matching diagnostic.
+//
+// Fixtures are type-checked from source with a fixture-local importer:
+// an import of "foo/bar" resolves to testdata/src/foo/bar. Standard
+// library imports are deliberately unsupported — offline containers
+// have no export data for std at test time, so fixtures declare local
+// stand-ins (a Mutex type, a binary-decode helper) instead. The
+// analyzers duck-type on names for exactly this reason.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run applies the analyzer to each fixture package (paths relative to
+// testdata/src) and checks diagnostics against // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	imp := &fixtureImporter{
+		srcRoot: filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*pkgResult{},
+	}
+	for _, path := range pkgPaths {
+		res, err := imp.load(path)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		target := &driver.Target{
+			Fset:  imp.fset,
+			Files: res.files,
+			Pkg:   res.pkg,
+			Info:  res.info,
+			IsStd: func(string) bool { return false },
+		}
+		findings, err := driver.Run(target, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		checkWants(t, imp.fset, res.files, findings)
+	}
+}
+
+type pkgResult struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureImporter type-checks fixture packages from source, resolving
+// imports under testdata/src.
+type fixtureImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*pkgResult
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	res, err := fi.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return res.pkg, nil
+}
+
+func (fi *fixtureImporter) load(path string) (*pkgResult, error) {
+	if res, ok := fi.pkgs[path]; ok {
+		return res, nil
+	}
+	dir := filepath.Join(fi.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files, err := driver.ParseFiles(fi.fset, filenames)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := driver.Check(fi.fset, path, files, fi, "")
+	if err != nil {
+		return nil, err
+	}
+	res := &pkgResult{files: files, pkg: pkg, info: info}
+	fi.pkgs[path] = res
+	return res, nil
+}
+
+// want is one expectation: a regexp that must match a diagnostic
+// reported on its line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []driver.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parsePatterns(text)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, fd := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == fd.Pos.Filename && w.line == fd.Pos.Line && w.re.MatchString(fd.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parsePatterns extracts the sequence of quoted (double-quote or
+// backquote) regexps from a want comment body.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package batchalias_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/batchalias"
+)
+
+func TestBatchalias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), batchalias.Analyzer, "batchalias")
+}

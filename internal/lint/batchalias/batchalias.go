@@ -1,0 +1,245 @@
+// Package batchalias enforces the immutability contract on shared
+// column-batch views. The relational island caches one ColumnBatch per
+// table version and hands the *same* backing arrays to every consumer
+// (DumpBatch, the vectorized executor, CAST pushdown). The contract —
+// "consumers treat a batch they did not build as immutable" — is only a
+// comment in internal/engine/batch.go; this analyzer makes it checkable.
+//
+// A *view* is the result of a call that returns a cached or shared
+// batch: any call returning a ColumnBatch-typed value whose name is
+// columnBatch, DumpBatch, or DumpBatchWhere, plus anything aliased from
+// such a value with := . Flagged while rooted at a view:
+//
+//   - assignments through the view (v.Cols[i] = …, v.Cols[i].Ints[j] = …);
+//   - mutating method calls (AppendTuple, AppendBatch, appendVal,
+//     appendZero, Bitmap.Set);
+//   - copy(dst, …) with a view-rooted destination;
+//   - append(v.something, …) results assigned anywhere (append may
+//     write in place when capacity allows).
+//
+// Batches a function builds itself (NewColumnBatch, composite literals)
+// are its own to mutate and are never flagged.
+package batchalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the batchalias analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchalias",
+	Doc:  "flags writes through shared column-batch views (cache corruption)",
+	Run:  run,
+}
+
+// viewSources are functions whose ColumnBatch results are shared with
+// other consumers and must not be written through.
+var viewSources = map[string]bool{
+	"columnBatch":    true,
+	"DumpBatch":      true,
+	"DumpBatchWhere": true,
+}
+
+// mutators are method names that write into a batch or column vector.
+var mutators = map[string]bool{
+	"AppendTuple": true,
+	"AppendBatch": true,
+	"appendVal":   true,
+	"appendZero":  true,
+	"Set":         true,
+	"Reset":       true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	views := map[types.Object]bool{}
+
+	// Pass 1: collect view variables, including aliases of views.
+	// Iterate to a fixed point so `cols := view.Cols` after
+	// `view := t.columnBatch()` is caught regardless of order (Go
+	// requires def-before-use in a function body, so two rounds
+	// would do; fixed point is cheap and simpler to reason about).
+	for {
+		added := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				var lhs ast.Expr
+				switch {
+				case len(as.Rhs) == len(as.Lhs):
+					lhs = as.Lhs[i]
+				case len(as.Rhs) == 1:
+					lhs = as.Lhs[0] // v, ok := …; only first result is the batch
+				default:
+					continue
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOf(info, id)
+				if obj == nil || views[obj] {
+					continue
+				}
+				if isViewExpr(info, views, rhs) {
+					views[obj] = true
+					added = true
+				}
+			}
+			return true
+		})
+		if !added {
+			break
+		}
+	}
+
+	// Pass 2: flag writes through views.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if rootsInView(info, views, lhs) && !isBareIdent(lhs) {
+					pass.Reportf(lhs.Pos(),
+						"write through shared column-batch view %s corrupts the per-version column cache for every other reader",
+						viewName(lhs))
+				}
+			}
+			// append(view.Cols[i].Ints, …) may write the shared backing
+			// array in place before growing.
+			for _, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
+					analysis.CalleeName(call) == "append" && len(call.Args) > 0 {
+					if rootsInView(info, views, call.Args[0]) {
+						pass.Reportf(call.Pos(),
+							"append to a slice of shared column-batch view %s may write the cached backing array in place",
+							viewName(call.Args[0]))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootsInView(info, views, n.X) {
+				pass.Reportf(n.X.Pos(),
+					"write through shared column-batch view %s corrupts the per-version column cache for every other reader",
+					viewName(n.X))
+			}
+		case *ast.CallExpr:
+			name := analysis.CalleeName(n)
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && mutators[name] {
+				if rootsInView(info, views, sel.X) {
+					pass.Reportf(n.Pos(),
+						"mutating call %s on shared column-batch view %s (consumers must copy before modifying)",
+						name, viewName(sel.X))
+				}
+			}
+			if name == "copy" && len(n.Args) == 2 && rootsInView(info, views, n.Args[0]) {
+				pass.Reportf(n.Pos(),
+					"copy into shared column-batch view %s overwrites the cached backing array",
+					viewName(n.Args[0]))
+			}
+		}
+		return true
+	})
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isViewExpr reports whether e yields a shared batch view: a call to a
+// view source returning a ColumnBatch, or an expression rooted at an
+// existing view variable (alias).
+func isViewExpr(info *types.Info, views map[types.Object]bool, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if viewSources[analysis.CalleeName(call)] && returnsBatch(info, call) {
+			return true
+		}
+		return false
+	}
+	if id := analysis.RootIdent(e); id != nil {
+		if obj := objOf(info, id); obj != nil && views[obj] {
+			// Only propagate aliases that still reference batch
+			// internals (slices, vectors, the batch itself); a copied
+			// scalar like v.Len is not a view.
+			return aliasesBatchData(info, e)
+		}
+	}
+	return false
+}
+
+// returnsBatch reports whether the call's (first) result is a
+// ColumnBatch-ish named type.
+func returnsBatch(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(0).Type()
+	}
+	return strings.Contains(analysis.NamedTypeName(t), "ColumnBatch")
+}
+
+// aliasesBatchData reports whether e's type still lets the holder reach
+// shared storage: pointers, slices, and the batch/vector structs.
+func aliasesBatchData(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Struct:
+		return true
+	}
+	return false
+}
+
+// rootsInView reports whether the expression is rooted at a view
+// variable.
+func rootsInView(info *types.Info, views map[types.Object]bool, e ast.Expr) bool {
+	id := analysis.RootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := objOf(info, id)
+	return obj != nil && views[obj]
+}
+
+// isBareIdent reports whether the LHS is just the variable itself —
+// rebinding `v = something` is fine; only writes *through* v are not.
+func isBareIdent(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+func viewName(e ast.Expr) string {
+	if id := analysis.RootIdent(e); id != nil {
+		return id.Name
+	}
+	return "<view>"
+}

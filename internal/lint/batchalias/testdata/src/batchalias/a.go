@@ -1,0 +1,120 @@
+// Fixtures for the batchalias analyzer: local stand-ins for the engine
+// ColumnBatch and the relational island's cached-view accessors. The
+// analyzer treats results of columnBatch/DumpBatch/DumpBatchWhere as
+// shared views that must not be written through.
+package batchalias
+
+type Bitmap struct{ words []uint64 }
+
+func (b *Bitmap) Set(i int) {}
+
+type ColVec struct {
+	Ints  []int64
+	Nulls Bitmap
+}
+
+func (v *ColVec) appendVal(x int64) {}
+
+type ColumnBatch struct {
+	Cols []ColVec
+	Len  int
+}
+
+func (b *ColumnBatch) AppendTuple(vals []int64) {}
+
+func NewColumnBatch() *ColumnBatch { return &ColumnBatch{} }
+
+type Table struct{ cached *ColumnBatch }
+
+func (t *Table) columnBatch() *ColumnBatch { return t.cached }
+
+type DB struct{ tables map[string]*Table }
+
+func (db *DB) DumpBatch(name string) (*ColumnBatch, bool) {
+	tbl, ok := db.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return tbl.columnBatch(), true
+}
+
+func badFieldWrite(t *Table) {
+	v := t.columnBatch()
+	v.Cols[0].Ints[1] = 7 // want `write through shared column-batch view v`
+}
+
+func badMutatorCall(t *Table) {
+	v := t.columnBatch()
+	v.AppendTuple(nil) // want `mutating call AppendTuple on shared column-batch view v`
+}
+
+func badVecMutator(t *Table) {
+	v := t.columnBatch()
+	v.Cols[0].appendVal(9) // want `mutating call appendVal on shared column-batch view v`
+}
+
+func badBitmapSet(t *Table) {
+	v := t.columnBatch()
+	v.Cols[0].Nulls.Set(3) // want `mutating call Set on shared column-batch view v`
+}
+
+// Aliases of a view are views: writing through a copied column slice
+// still lands in the shared cache.
+func badAliasWrite(t *Table) {
+	v := t.columnBatch()
+	cols := v.Cols
+	cols[0].Ints = nil // want `write through shared column-batch view cols`
+}
+
+func badDumpBatchWrite(db *DB) {
+	v, ok := db.DumpBatch("patients")
+	if !ok {
+		return
+	}
+	v.Len = 0 // want `write through shared column-batch view v`
+}
+
+func badCopyInto(t *Table, src []int64) {
+	v := t.columnBatch()
+	copy(v.Cols[0].Ints, src) // want `copy into shared column-batch view v`
+}
+
+// append can write the cached backing array in place when capacity
+// allows, even though the result lands in a fresh variable.
+func badAppendInPlace(t *Table, x int64) []int64 {
+	v := t.columnBatch()
+	out := append(v.Cols[0].Ints, x) // want `append to a slice of shared column-batch view v`
+	return out
+}
+
+// Reading through a view is the whole point — no findings.
+func okReads(t *Table) int64 {
+	v := t.columnBatch()
+	sum := int64(v.Len)
+	sum += v.Cols[0].Ints[0]
+	return sum
+}
+
+// A scalar copied out of a view carries no shared storage.
+func okScalarCopy(t *Table) int {
+	v := t.columnBatch()
+	n := v.Len
+	n++
+	return n
+}
+
+// A batch the function builds itself is its own to mutate.
+func okOwnBatch(x int64) *ColumnBatch {
+	b := NewColumnBatch()
+	b.AppendTuple(nil)
+	b.Cols = append(b.Cols, ColVec{})
+	b.Cols[0].Ints = append(b.Cols[0].Ints, x)
+	return b
+}
+
+// Rebinding the view variable itself is not a write through it.
+func okRebindNotAWrite(t *Table) {
+	v := t.columnBatch()
+	v = t.columnBatch()
+	_ = v
+}

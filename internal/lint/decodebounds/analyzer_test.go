@@ -1,0 +1,12 @@
+package decodebounds_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/decodebounds"
+)
+
+func TestDecodebounds(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), decodebounds.Analyzer, "decodebounds")
+}

@@ -1,0 +1,373 @@
+// Package decodebounds audits binary decode paths: any slice index,
+// sub-slice, or allocation size derived from a wire-supplied length
+// (binary.Uint16/Uint32/Uint64, Uvarint/Varint, ReadByte) must be
+// dominated by an explicit bounds comparison before it touches the
+// payload. A missing check turns a truncated or hostile frame into a
+// panic (index out of range) or an attacker-chosen allocation
+// (make([]byte, n) with n from the wire).
+//
+// The analysis is per-function taint tracking:
+//
+//   - seeds: results of wire-read calls (Uint16/Uint32/Uint64/Uvarint/
+//     Varint/ReadByte by name) and variables assigned from them;
+//   - propagation: through arithmetic, conversions, and plain
+//     assignments — but NOT through other function calls: a call
+//     boundary is treated as a sanitizer, because helpers (clamps,
+//     caps) exist precisely to launder a wire value into a safe one;
+//   - guards: a comparison that mentions the tainted value and a
+//     len()/cap() call sanitizes it for indexing; a comparison against
+//     a constant (n > maxStringLen) sanitizes it for allocation sizing
+//     only — a cap bounds how much you allocate, not where you read;
+//   - sinks: payload[i], payload[a:b] with a tainted component, and
+//     make(..., n) with a tainted size.
+//
+// Only files whose base name starts with "binary" are audited (the
+// codec layout in internal/engine, plus fixtures); the rest of the repo
+// does arithmetic on lengths that never came off a wire.
+package decodebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the decodebounds analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "decodebounds",
+	Doc:  "flags wire-length-derived indexes and allocations not dominated by a bounds check",
+	Run:  run,
+}
+
+// wireReads are call names whose results are wire-controlled.
+var wireReads = map[string]bool{
+	"Uint16":   true,
+	"Uint32":   true,
+	"Uint64":   true,
+	"Uvarint":  true,
+	"Varint":   true,
+	"ReadByte": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if !strings.HasPrefix(name, "binary") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// taintInfo tracks one tainted variable: where the wire value entered
+// it and the positions of the comparisons that sanitize it, if any.
+type taintInfo struct {
+	taintPos   token.Pos // where the wire value entered the variable
+	lenGuard   token.Pos // comparison involving len()/cap(), or NoPos
+	constGuard token.Pos // comparison against a constant, or NoPos
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	taint := map[types.Object]*taintInfo{}
+
+	// Sequential walk in source order. The decode routines in this repo
+	// are straight-line with early-return guards, so lexical dominance
+	// (guard position < sink position) is the right approximation: an
+	// `if off+n > len(p) { return err }` guard both precedes the access
+	// and terminates the bad path.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			handleAssign(info, taint, n)
+		case *ast.IfStmt:
+			recordGuards(info, taint, n.Cond)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				recordGuards(info, taint, n.Cond)
+			}
+		case *ast.IndexExpr:
+			checkIndexSink(pass, taint, n)
+		case *ast.SliceExpr:
+			checkSliceSink(pass, taint, n)
+		case *ast.CallExpr:
+			checkMakeSink(pass, info, taint, n)
+		}
+		return true
+	})
+}
+
+// handleAssign seeds and propagates taint through assignments.
+func handleAssign(info *types.Info, taint map[types.Object]*taintInfo, as *ast.AssignStmt) {
+	// n, off := binary.Uvarint(p[off:]) — multi-result seeding: every
+	// integer result of a wire read is tainted.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && wireReads[analysis.CalleeName(call)] {
+			for _, lhs := range as.Lhs {
+				seedLHS(info, taint, lhs, call.Pos())
+			}
+			return
+		}
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		lhs := as.Lhs[i]
+		if carriesTaint(info, taint, rhs) {
+			seedLHS(info, taint, lhs, rhs.Pos())
+		} else if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+			// Overwriting with a clean value clears prior taint
+			// (compound ops like += keep the variable's own state).
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := objOf(info, id); obj != nil {
+					delete(taint, obj)
+				}
+			}
+		}
+	}
+}
+
+func seedLHS(info *types.Info, taint map[types.Object]*taintInfo, lhs ast.Expr, pos token.Pos) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj := objOf(info, id); obj != nil {
+		taint[obj] = &taintInfo{taintPos: pos, lenGuard: token.NoPos, constGuard: token.NoPos}
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// carriesTaint reports whether evaluating e yields a value still
+// carrying unguarded wire taint. Calls other than wire reads and type
+// conversions act as sanitizers.
+func carriesTaint(info *types.Info, taint map[types.Object]*taintInfo, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if wireReads[analysis.CalleeName(n)] {
+				found = true
+				return false
+			}
+			// Conversions propagate the operand's taint; real calls
+			// sanitize (do not descend into their arguments).
+			return isConversion(info, n)
+		case *ast.Ident:
+			if obj := objOf(info, n); obj != nil {
+				if t, ok := taint[obj]; ok && t.lenGuard == token.NoPos {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isConversion reports whether call is a type conversion like int(n).
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		_, ok := info.Uses[fun].(*types.TypeName)
+		return ok
+	case *ast.SelectorExpr:
+		_, ok := info.Uses[fun.Sel].(*types.TypeName)
+		return ok
+	case *ast.ArrayType, *ast.MapType, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// recordGuards scans a condition for bounds comparisons and marks the
+// tainted variables they mention as guarded from that position on.
+func recordGuards(info *types.Info, taint map[types.Object]*taintInfo, cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true // &&, || — keep descending
+		}
+		hasLen := mentionsLenOrCap(be)
+		hasConst := comparesConstant(info, be)
+		if !hasLen && !hasConst {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			markGuarded(info, taint, side, be.Pos(), hasLen, hasConst)
+		}
+		return true
+	})
+}
+
+func mentionsLenOrCap(be *ast.BinaryExpr) bool {
+	has := false
+	ast.Inspect(be, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			name := analysis.CalleeName(call)
+			if name == "len" || name == "cap" {
+				has = true
+			}
+		}
+		return !has
+	})
+	return has
+}
+
+func comparesConstant(info *types.Info, be *ast.BinaryExpr) bool {
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if tv, ok := info.Types[side]; ok && tv.Value != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func markGuarded(info *types.Info, taint map[types.Object]*taintInfo, e ast.Expr, pos token.Pos, asLen, asConst bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objOf(info, id); obj != nil {
+				if t, ok := taint[obj]; ok {
+					if asLen {
+						t.lenGuard = pos
+					}
+					if asConst {
+						t.constGuard = pos
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// guardKind selects which sanitizer a sink accepts.
+type guardKind int
+
+const (
+	needLen   guardKind = iota // index/slice sinks: must relate to len()
+	anyBound                   // make sinks: a constant cap is enough
+)
+
+// unguardedTaintIn returns the first variable in e that is tainted and
+// not sanitized (per kind) before sinkPos, or a placeholder object for
+// an inline wire read; nil if e is clean.
+func unguardedTaintIn(info *types.Info, taint map[types.Object]*taintInfo, e ast.Expr, sinkPos token.Pos, kind guardKind) types.Object {
+	var found types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if wireReads[analysis.CalleeName(n)] {
+				// A wire read used directly in a sink is always unguarded.
+				found = inlineWireRead
+				return false
+			}
+			return isConversion(info, n)
+		case *ast.Ident:
+			if obj := objOf(info, n); obj != nil {
+				if t, ok := taint[obj]; ok && !sanitized(t, sinkPos, kind) {
+					found = obj
+				}
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+func sanitized(t *taintInfo, sinkPos token.Pos, kind guardKind) bool {
+	if t.lenGuard != token.NoPos && t.lenGuard < sinkPos {
+		return true
+	}
+	if kind == anyBound && t.constGuard != token.NoPos && t.constGuard < sinkPos {
+		return true
+	}
+	return false
+}
+
+// inlineWireRead stands in for "an anonymous wire read used inline".
+var inlineWireRead types.Object = types.NewVar(token.NoPos, nil, "an inline wire read", types.Typ[types.Int])
+
+func isByteSliceOrString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		b, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func checkIndexSink(pass *analysis.Pass, taint map[types.Object]*taintInfo, ie *ast.IndexExpr) {
+	if !isByteSliceOrString(pass.TypesInfo, ie.X) {
+		return
+	}
+	if obj := unguardedTaintIn(pass.TypesInfo, taint, ie.Index, ie.Pos(), needLen); obj != nil {
+		pass.Reportf(ie.Pos(),
+			"index derived from wire-supplied length %s is not dominated by a bounds check against len()",
+			obj.Name())
+	}
+}
+
+func checkSliceSink(pass *analysis.Pass, taint map[types.Object]*taintInfo, se *ast.SliceExpr) {
+	if !isByteSliceOrString(pass.TypesInfo, se.X) {
+		return
+	}
+	for _, idx := range []ast.Expr{se.Low, se.High, se.Max} {
+		if idx == nil {
+			continue
+		}
+		if obj := unguardedTaintIn(pass.TypesInfo, taint, idx, se.Pos(), needLen); obj != nil {
+			pass.Reportf(se.Pos(),
+				"sub-slice bound derived from wire-supplied length %s is not dominated by a bounds check against len()",
+				obj.Name())
+			return
+		}
+	}
+}
+
+func checkMakeSink(pass *analysis.Pass, info *types.Info, taint map[types.Object]*taintInfo, call *ast.CallExpr) {
+	if analysis.CalleeName(call) != "make" || len(call.Args) < 2 {
+		return
+	}
+	for _, size := range call.Args[1:] {
+		if obj := unguardedTaintIn(info, taint, size, call.Pos(), anyBound); obj != nil {
+			pass.Reportf(call.Pos(),
+				"allocation sized by wire-supplied length %s without a preceding bound (attacker-chosen allocation)",
+				obj.Name())
+			return
+		}
+	}
+}

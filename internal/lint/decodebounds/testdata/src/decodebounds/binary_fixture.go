@@ -1,0 +1,87 @@
+// Fixtures for the decodebounds analyzer. The file name starts with
+// "binary" on purpose: the analyzer audits only codec files. Local
+// stand-ins replace encoding/binary; the analyzer seeds taint by call
+// name (Uint32/Uvarint/...), not by import path.
+package decodebounds
+
+const maxStringLen = 1 << 20
+
+func Uint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func Uvarint(b []byte) (uint64, int) { return uint64(b[0]), 1 }
+
+// The v2 frame-header overread: the header's declared payload length is
+// trusted and sliced with, so a frame truncated after the header (or a
+// hostile length) panics the decoder.
+func badHeaderOverread(frame []byte) []byte {
+	n := Uint32(frame)
+	return frame[4 : 4+int(n)] // want `sub-slice bound derived from wire-supplied length n`
+}
+
+func okHeaderGuarded(frame []byte) []byte {
+	n := Uint32(frame)
+	if 4+int(n) > len(frame) {
+		return nil
+	}
+	return frame[4 : 4+int(n)]
+}
+
+func badIndexFromWire(frame []byte) byte {
+	off, _ := Uvarint(frame)
+	return frame[off] // want `index derived from wire-supplied length off`
+}
+
+func okIndexGuarded(frame []byte) byte {
+	off, _ := Uvarint(frame)
+	if off >= uint64(len(frame)) {
+		return 0
+	}
+	return frame[off]
+}
+
+// Allocation sized straight from the wire: a hostile frame makes the
+// decoder allocate gigabytes before any data is read.
+func badAllocFromWire(frame []byte) []byte {
+	n := Uint32(frame)
+	return make([]byte, n) // want `allocation sized by wire-supplied length n`
+}
+
+// A constant cap is enough to bound an allocation (but would not be
+// enough to bound an index into the payload).
+func okAllocCapped(frame []byte) []byte {
+	n := Uint32(frame)
+	if n > maxStringLen {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// Taint survives arithmetic and conversions.
+func badDerivedOffset(frame []byte) []byte {
+	n := Uint32(frame)
+	end := 4 + int(n)*8
+	return frame[4:end] // want `sub-slice bound derived from wire-supplied length end`
+}
+
+func clamp16(n int) int {
+	if n > 16 {
+		return 16
+	}
+	return n
+}
+
+// A call boundary launders the value: helpers exist to clamp
+// wire-supplied lengths, and the analyzer trusts them.
+func okSanitizedByHelper(frame []byte) byte {
+	n := Uint32(frame)
+	m := clamp16(int(n))
+	return frame[m]
+}
+
+func okSuppressed(frame []byte) []byte {
+	n := Uint32(frame)
+	//lint:ignore decodebounds fixture: caller has already verified the frame length
+	return frame[4 : 4+int(n)]
+}

@@ -1,0 +1,61 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"runtime"
+
+	"repro/internal/lint/analysis"
+)
+
+// Check type-checks one package's parsed files with the given importer
+// and returns the package plus the filled-in types.Info the analyzers
+// consume. goVersion may be "" (toolchain default).
+func Check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := analysis.NewInfo()
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", goarch),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		return pkg, info, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// ParseFiles parses the named Go source files with comments (required
+// for //lint:ignore suppressions).
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parseFile(fset, name)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func parseFile(fset *token.FileSet, name string) (*ast.File, error) {
+	return parser.ParseFile(fset, name, nil, parser.ParseComments)
+}

@@ -1,0 +1,143 @@
+// Package driver runs bigdawg-vet analyzers over one type-checked
+// package and applies //lint:ignore suppressions. Both front ends — the
+// go vet -vettool unitchecker and the analysistest fixture harness —
+// funnel through Run, so suppression semantics cannot drift between CI
+// and the analyzer tests.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"runtime/debug"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Finding is one resolved diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Target is one package ready for analysis.
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	IsStd func(path string) bool
+}
+
+// Run applies every analyzer to the target, filters suppressed
+// diagnostics, and returns the surviving findings sorted by position.
+func Run(t *Target, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	sup := suppressions(t.Fset, t.Files)
+	isStd := t.IsStd
+	if isStd == nil {
+		isStd = func(string) bool { return false }
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Pkg,
+			TypesInfo: t.Info,
+			IsStd:     isStd,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := t.Fset.Position(d.Pos)
+			if sup.covers(name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := runProtected(a, pass); err != nil {
+			return findings, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+func runProtected(a *analysis.Analyzer, pass *analysis.Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return a.Run(pass)
+}
+
+// suppressionIndex records //lint:ignore directives: a directive on
+// line L of a file suppresses matching diagnostics reported on line L
+// (trailing comment) or line L+1 (comment above the flagged line).
+//
+//	//lint:ignore lockheld send is to a buffered, never-closed channel
+//	//lint:ignore errdrop,templeak best-effort cleanup
+//	//lint:ignore * generated code
+type suppressionIndex map[string]map[int][]string
+
+func (s suppressionIndex) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == "*" || name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func suppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					idx[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return idx
+}

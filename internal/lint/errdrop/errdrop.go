@@ -1,0 +1,90 @@
+// Package errdrop flags calls whose error result is silently discarded
+// by using the call as a statement. In a polystore, a dropped error
+// from an island, codec, or migration API usually means divergent state
+// between engines: a Load that failed half-way, a migration whose
+// target table was never created, a codec that stopped mid-frame.
+//
+// The rule: an expression statement calling a declared function or
+// method that returns an error (in any result position) is a finding,
+// unless the callee lives in the standard library (buf.WriteByte and
+// friends are well-defined no-fail cases) — the suite is for the
+// repository's own contracts, not a general errcheck clone.
+//
+// Deliberate discards stay available and visible: assign the error to
+// blank (`_ = rel.Append(...)`) or suppress with //lint:ignore errdrop
+// <reason>. Both forms document intent at the call site; a bare call
+// statement documents nothing.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the errdrop analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags ignored error returns from island, codec, and migration APIs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Only expression statements: `foo()` alone on a line.
+			// Deferred and go'd calls get the same treatment — a
+			// deferred Close that can fail mid-flush is still a
+			// dropped error.
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			check(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return // function values, builtins, conversions
+	}
+	if fn.Pkg() != nil && pass.IsStd(fn.Pkg().Path()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			pass.Reportf(call.Pos(),
+				"error result of %s is silently dropped (assign to _ or handle it; a lost island/codec error means divergent engine state)",
+				fn.Name())
+			return
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named := analysis.NamedTypeName(t)
+	if named == "error" {
+		return true
+	}
+	// The universe error interface has no *types.Named in older
+	// representations; compare against the universe type directly.
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,59 @@
+// Fixtures for the errdrop analyzer: a stand-in island API whose
+// methods return errors. The fixture harness treats no package as
+// standard library, so every declared callee here is in scope.
+package errdrop
+
+type failure struct{}
+
+func (failure) Error() string { return "boom" }
+
+type Relation struct{ rows int }
+
+func (r *Relation) Append(vals []int64) error { return nil }
+func (r *Relation) Size() int                 { return r.rows }
+func (r *Relation) Close() error              { return failure{} }
+
+func load(r *Relation) error { return failure{} }
+
+func bad(r *Relation) {
+	r.Append(nil) // want `error result of Append is silently dropped`
+	load(r)       // want `error result of load is silently dropped`
+}
+
+// defer and go drop the error just as silently.
+func badDeferred(r *Relation) {
+	defer r.Close() // want `error result of Close is silently dropped`
+}
+
+func badGo(r *Relation) {
+	go load(r) // want `error result of load is silently dropped`
+}
+
+// A blank assignment documents the discard and is exempt.
+func okBlank(r *Relation) {
+	_ = r.Append(nil)
+}
+
+func okHandled(r *Relation) error {
+	if err := load(r); err != nil {
+		return err
+	}
+	return nil
+}
+
+// No error in the signature, nothing to drop.
+func okNoError(r *Relation) {
+	r.Size()
+}
+
+// Calls through function values are out of scope (no declared callee).
+func okFuncValue(fns []func() error) {
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+func okSuppressed(r *Relation) {
+	//lint:ignore errdrop fixture: best-effort cleanup on shutdown
+	load(r)
+}

@@ -1,0 +1,28 @@
+// Package lint aggregates the bigdawg-vet analyzer suite: the
+// project-specific static checks that keep the polystore's invariants
+// (lock discipline across islands, temp-object lifecycle, wire-length
+// bounds, batch-view immutability, error propagation) machine-checked
+// instead of comment-enforced. See README.md in this directory.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/batchalias"
+	"repro/internal/lint/decodebounds"
+	"repro/internal/lint/errdrop"
+	"repro/internal/lint/lockheld"
+	"repro/internal/lint/templeak"
+)
+
+// Analyzers returns the full suite in the order findings are
+// conventionally triaged: concurrency first, then resource lifecycle,
+// then memory safety, then data sharing, then error hygiene.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		lockheld.Analyzer,
+		templeak.Analyzer,
+		decodebounds.Analyzer,
+		batchalias.Analyzer,
+		errdrop.Analyzer,
+	}
+}

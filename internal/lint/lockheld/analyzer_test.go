@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockheld.Analyzer, "lockheld")
+}

@@ -1,0 +1,335 @@
+// Package lockheld flags work performed while a mutex is held that can
+// block indefinitely or re-enter another island's locks:
+//
+//   - a call into a *different* island package (core, relational,
+//     array, kvstore, stream, tiledb, monitor, myria, d4m) — island
+//     packages take their own locks, so holding one island's lock
+//     across a call into another is lock-ordering (deadlock) fuel for
+//     the concurrent server the roadmap is building toward;
+//   - a channel send (blocks until a receiver is ready);
+//   - a write on an io.PipeWriter (blocks until the decoder reads).
+//
+// The analyzer tracks Lock/RLock…Unlock/RUnlock regions per function
+// with a lexical, branch-aware walk: a branch that terminates (returns
+// or breaks) keeps its lock-state changes to itself, a branch that
+// falls through propagates them. defer mu.Unlock() leaves the lock held
+// for the rest of the function, which is the point: everything after it
+// runs under the lock.
+//
+// Mutexes are duck-typed by named type (contains "Mutex", or
+// sync.Locker), so fixtures need no std imports. Calls through function
+// values (trigger callbacks, eviction hooks) are deliberately not
+// resolved: the stream island runs triggers inside its append critical
+// section by design.
+package lockheld
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the lockheld analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "flags cross-island calls, channel sends, and pipe writes while a mutex is held",
+	Run:  run,
+}
+
+// islandPkgs are the base names of packages that own engine/catalog
+// locks. engine and scalar are shared leaf libraries with no
+// cross-island calls, so calls into them while locked are fine.
+var islandPkgs = map[string]bool{
+	"core":       true,
+	"relational": true,
+	"array":      true,
+	"kvstore":    true,
+	"stream":     true,
+	"tiledb":     true,
+	"monitor":    true,
+	"myria":      true,
+	"d4m":        true,
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &walker{pass: pass}
+				w.stmts(fd.Body.List, map[string]token.Pos{})
+			}
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// stmts walks a statement list with the current set of held locks,
+// keyed by the mutex expression's source text ("p.mu").
+func (w *walker) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, kind := w.lockOp(call); kind != 0 {
+				if kind == opLock {
+					held[key] = call.Pos()
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held until return; nothing
+		// to update. Deferred bodies run at return, outside this walk.
+	case *ast.SendStmt:
+		w.reportHeld(held, s.Arrow, "channel send")
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.branch(s.Body.List, held)
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.branch(e.List, held)
+			default:
+				w.stmt(e, held)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.loopBody(s.Body.List, held)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.loopBody(s.Body.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body, held)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body, held)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				w.reportHeld(held, send.Arrow, "channel send (select case)")
+			}
+			w.branch(cc.Body, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently, not under this lock.
+	}
+}
+
+// branch walks a conditional body on a copy of the lock state; changes
+// propagate to the fallthrough path only if the branch does not
+// terminate (so `if !ok { mu.Unlock(); return err }` leaves the lock
+// held on the main path).
+func (w *walker) branch(body []ast.Stmt, held map[string]token.Pos) {
+	clone := cloneState(held)
+	w.stmts(body, clone)
+	if !terminates(body) {
+		replaceState(held, clone)
+	}
+}
+
+// loopBody walks a loop body on a throwaway copy of the state: locks
+// taken inside one iteration are assumed released by iteration end, and
+// intra-iteration sequences are still checked.
+func (w *walker) loopBody(body []ast.Stmt, held map[string]token.Pos) {
+	w.stmts(body, cloneState(held))
+}
+
+func cloneState(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func replaceState(dst, src map[string]token.Pos) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// terminates reports whether a statement list definitely leaves the
+// enclosing flow (return, branch, or panic as its last statement).
+func terminates(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	switch last := body[len(body)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			name := analysis.CalleeName(call)
+			return name == "panic" || name == "Fatal" || name == "Fatalf" || name == "Exit"
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opLock
+	opUnlock
+)
+
+// lockOp classifies mu.Lock()/mu.RLock()/mu.Unlock()/mu.RUnlock()
+// calls on mutex-like receivers and returns the receiver's source text
+// as the lock key.
+func (w *walker) lockOp(call *ast.CallExpr) (string, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", opNone
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	recv := w.pass.TypesInfo.Types[sel.X].Type
+	name := analysis.NamedTypeName(recv)
+	if !strings.Contains(name, "Mutex") && name != "Locker" {
+		return "", opNone
+	}
+	return types.ExprString(sel.X), kind
+}
+
+// checkExpr inspects an expression evaluated while locks are held for
+// blocking or cross-island calls. Function literals are skipped: their
+// bodies run when called, which this lexical walk cannot place.
+func (w *walker) checkExpr(e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, held map[string]token.Pos) {
+	// Pipe writes: blocking until the reader side drains.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Write" || sel.Sel.Name == "CloseWithError" {
+			if analysis.NamedTypeName(w.pass.TypesInfo.Types[sel.X].Type) == "PipeWriter" {
+				w.reportHeld(held, call.Pos(), "io.Pipe write")
+				return
+			}
+		}
+	}
+	fn := analysis.Callee(w.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	calleePath := fn.Pkg().Path()
+	if calleePath == w.pass.Pkg.Path() {
+		return
+	}
+	if base := pkgBase(calleePath); islandPkgs[base] && base != pkgBase(w.pass.Pkg.Path()) {
+		for key := range held {
+			w.pass.Reportf(call.Pos(),
+				"call into island package %s while %s is held (lock-ordering hazard across islands)",
+				calleePath, key)
+			return
+		}
+	}
+}
+
+func (w *walker) reportHeld(held map[string]token.Pos, pos token.Pos, what string) {
+	for key := range held {
+		w.pass.Reportf(pos, "%s while %s is held may block with the lock held", what, key)
+		return
+	}
+}

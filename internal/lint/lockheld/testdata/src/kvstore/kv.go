@@ -1,0 +1,10 @@
+// Package kvstore is a fixture stand-in for an island package: its
+// path base name ("kvstore") is in the analyzer's island set, so calls
+// into it while a lock is held must be flagged.
+package kvstore
+
+var store = map[string]string{}
+
+// Get looks up a key (and, in the real island, takes the island's own
+// lock to do it).
+func Get(k string) string { return store[k] }

@@ -1,0 +1,117 @@
+// Fixtures for the lockheld analyzer. Local stand-ins replace sync and
+// io so the fixture needs no standard library: the analyzer duck-types
+// mutexes by type name and pipe writers by PipeWriter/Write.
+package lockheld
+
+import "kvstore"
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   { m.state++ }
+func (m *Mutex) Unlock() { m.state-- }
+
+type RWMutex struct{ state int }
+
+func (m *RWMutex) Lock()    { m.state++ }
+func (m *RWMutex) Unlock()  { m.state-- }
+func (m *RWMutex) RLock()   { m.state++ }
+func (m *RWMutex) RUnlock() { m.state-- }
+
+type PipeWriter struct{ n int }
+
+func (w *PipeWriter) Write(p []byte) (int, error)  { return len(p), nil }
+func (w *PipeWriter) CloseWithError(err error) error { return nil }
+
+func badSend(mu *Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `channel send while mu is held`
+	mu.Unlock()
+}
+
+func badSendUnderRLock(mu *RWMutex, ch chan int) {
+	mu.RLock()
+	ch <- 1 // want `channel send while mu is held`
+	mu.RUnlock()
+}
+
+func badSendAfterDeferredUnlock(mu *Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 // want `channel send while mu is held`
+}
+
+func badCrossIsland(mu *Mutex) string {
+	mu.Lock()
+	defer mu.Unlock()
+	return kvstore.Get("x") // want `call into island package kvstore while mu is held`
+}
+
+func badPipeWrite(mu *Mutex, pw *PipeWriter) {
+	mu.Lock()
+	pw.Write(nil) // want `io.Pipe write while mu is held`
+	mu.Unlock()
+}
+
+func badSelectSend(mu *Mutex, ch chan int) {
+	mu.Lock()
+	select {
+	case ch <- 1: // want `channel send \(select case\) while mu is held`
+	default:
+	}
+	mu.Unlock()
+}
+
+// The early-exit branch unlocks and returns, so the lock is still held
+// on the fallthrough path — the send after the if must be flagged, and
+// the return inside the branch must not be.
+func badAfterBranchUnlock(mu *Mutex, ok bool, ch chan int) {
+	mu.Lock()
+	if !ok {
+		mu.Unlock()
+		return
+	}
+	ch <- 1 // want `channel send while mu is held`
+	mu.Unlock()
+}
+
+// A branch that unlocks and falls through releases the lock for the
+// rest of the function.
+func okBranchUnlockFallsThrough(mu *Mutex, ok bool, ch chan int) {
+	mu.Lock()
+	if ok {
+		mu.Unlock()
+	} else {
+		mu.Unlock()
+	}
+	ch <- 1
+}
+
+func okSendAfterUnlock(mu *Mutex, ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+
+// Function literals only capture the lock region lexically; their
+// bodies run whenever they are invoked, so the analyzer skips them
+// (this is how stream triggers legitimately run under the engine lock).
+func okFuncLitBody(mu *Mutex, ch chan int) func() {
+	mu.Lock()
+	f := func() { ch <- 1 }
+	mu.Unlock()
+	return f
+}
+
+// Goroutine bodies run concurrently, not under the spawning lock.
+func okGoStmt(mu *Mutex, ch chan int) {
+	mu.Lock()
+	go func() { ch <- 1 }()
+	mu.Unlock()
+}
+
+func okSuppressed(mu *Mutex, ch chan int) {
+	mu.Lock()
+	//lint:ignore lockheld fixture: send to a buffered channel with reserved capacity cannot block
+	ch <- 1
+	mu.Unlock()
+}

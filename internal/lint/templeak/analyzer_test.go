@@ -1,0 +1,12 @@
+package templeak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/templeak"
+)
+
+func TestTempleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), templeak.Analyzer, "templeak")
+}

@@ -1,0 +1,244 @@
+// Package templeak enforces the temp-object lifecycle around CAST
+// pushdown: every query-scoped temp object registered during planning
+// must be handed to dropTempObjects on every return path.
+//
+// Two rules:
+//
+//  1. A call to dropTempObjects must be deferred (plain `defer
+//     p.dropTempObjects(temps)` or inside a deferred closure). A
+//     straight-line call runs on exactly one return path; an early
+//     error return or a panic leaks the temp tables in the engine
+//     catalogs — the exact defect PR 5 fixed in the pushdown planner.
+//
+//  2. A local slice that accumulates temp names (appends of tempName
+//     results or CastResult.Target fields) must reach dropTempObjects,
+//     be returned to the caller, or escape into another call that can
+//     take ownership. A collector that does none of these is a leak no
+//     matter how the function exits.
+//
+// Benchmarks and tests that intentionally drop mid-loop can suppress
+// with //lint:ignore templeak <reason>, but the preferred shape is a
+// per-iteration closure with a defer (see internal/core/bench_test.go).
+package templeak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the templeak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "templeak",
+	Doc:  "flags temp-object registrations that can miss dropTempObjects on some return path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The lifecycle functions themselves are exempt: the drop
+			// helper calls engine drops, and tempName only mints names.
+			if fd.Name.Name == "dropTempObjects" || fd.Name.Name == "tempName" {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// tracked is one local variable accumulating temp-object names.
+type tracked struct {
+	obj     types.Object
+	declPos ast.Node // the statement that started the accumulation
+	dropped bool     // passed to dropTempObjects
+	escaped bool     // returned, or passed to some other call
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	vars := map[types.Object]*tracked{}
+
+	// Pass 1: find accumulators and direct drop calls.
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if accumulatesTempNames(info, rhs, vars) {
+					if _, ok := vars[obj]; !ok {
+						vars[obj] = &tracked{obj: obj, declPos: n}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if analysis.CalleeName(n) == "dropTempObjects" {
+				if !isDeferred(stack, n) {
+					pass.Reportf(n.Pos(),
+						"dropTempObjects is not deferred: an early return or panic before this call leaks temp objects (use defer)")
+				}
+				for _, arg := range n.Args {
+					if id := analysis.RootIdent(arg); id != nil {
+						if t, ok := vars[objOf(info, id)]; ok {
+							t.dropped = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: decide escape for each accumulator.
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markMentioned(info, res, vars, func(t *tracked) { t.escaped = true })
+			}
+		case *ast.CallExpr:
+			name := analysis.CalleeName(n)
+			if name == "append" || name == "len" || name == "cap" || name == "tempName" {
+				return true
+			}
+			isDrop := name == "dropTempObjects"
+			for _, arg := range n.Args {
+				markMentioned(info, arg, vars, func(t *tracked) {
+					if isDrop {
+						t.dropped = true
+					} else {
+						t.escaped = true
+					}
+				})
+			}
+		}
+		return true
+	})
+
+	for _, t := range vars {
+		if !t.dropped && !t.escaped {
+			pass.Reportf(t.declPos.Pos(),
+				"%s accumulates temp object names but never reaches dropTempObjects and never escapes this function (temp tables leak in the engine catalogs)",
+				t.obj.Name())
+		}
+	}
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// accumulatesTempNames reports whether rhs feeds temp-object names into
+// the assigned variable: append(x, tempName(...)), append(x, res.Target),
+// a direct tempName(...) result, a .Target selector, or an append whose
+// appended values mention an already-tracked variable.
+func accumulatesTempNames(info *types.Info, rhs ast.Expr, vars map[types.Object]*tracked) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		name := analysis.CalleeName(e)
+		if name == "tempName" {
+			return true
+		}
+		if name == "append" && len(e.Args) > 1 {
+			for _, v := range e.Args[1:] {
+				if isTempNameExpr(info, v, vars) {
+					return true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Target"
+	}
+	return false
+}
+
+// isTempNameExpr reports whether e is a temp-object name: a tempName
+// call, a CastResult .Target selector, or a use of a tracked variable.
+func isTempNameExpr(info *types.Info, e ast.Expr, vars map[types.Object]*tracked) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return analysis.CalleeName(e) == "tempName"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Target"
+	case *ast.Ident:
+		if obj := objOf(info, e); obj != nil {
+			_, ok := vars[obj]
+			return ok
+		}
+	case *ast.SliceExpr:
+		return isTempNameExpr(info, e.X, vars)
+	}
+	return false
+}
+
+// markMentioned invokes mark for every tracked variable mentioned in e.
+func markMentioned(info *types.Info, e ast.Expr, vars map[types.Object]*tracked, mark func(*tracked)) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if t, ok := vars[obj]; ok {
+					mark(t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isDeferred reports whether the call is the operand of a defer
+// statement, directly (`defer p.dropTempObjects(ts)`) or via a deferred
+// closure (`defer func() { p.dropTempObjects(ts) }()`).
+func isDeferred(stack []ast.Node, call *ast.CallExpr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			// Inside a function literal: deferred only if the literal
+			// itself is the deferred call's function.
+			if i > 0 {
+				if d, ok := stack[i-1].(*ast.DeferStmt); ok {
+					if fl, ok := d.Call.Fun.(*ast.FuncLit); ok && fl == n {
+						return true
+					}
+				}
+				// The literal may be wrapped: defer (func(){...})()
+				if i > 1 {
+					if d, ok := stack[i-2].(*ast.DeferStmt); ok {
+						if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok && fl == n {
+							return true
+						}
+					}
+				}
+			}
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+// Fixtures for the templeak analyzer: local stand-ins for the
+// polystore's temp-object API (tempName mints catalog names,
+// dropTempObjects removes them from every engine, CastResult.Target is
+// a registered temp table).
+package templeak
+
+type Planner struct{ n int }
+
+func (p *Planner) tempName(base string) string   { p.n++; return base }
+func (p *Planner) dropTempObjects(names []string) {}
+
+type CastResult struct {
+	Target string
+	Bytes  int64
+}
+
+func (p *Planner) cast(obj string) (*CastResult, bool) {
+	return &CastResult{Target: p.tempName(obj)}, true
+}
+
+func okDeferredDrop(p *Planner, fail bool) bool {
+	var temps []string
+	temps = append(temps, p.tempName("a"))
+	defer p.dropTempObjects(temps)
+	if fail {
+		return false
+	}
+	temps = append(temps, p.tempName("b"))
+	return true
+}
+
+func okDeferredClosureDrop(p *Planner) {
+	var temps []string
+	temps = append(temps, p.tempName("a"))
+	defer func() { p.dropTempObjects(temps) }()
+	temps = append(temps, p.tempName("b"))
+}
+
+// Handing the collector to the caller transfers cleanup ownership —
+// this is the resolveCasts shape.
+func okReturnsTemps(p *Planner) []string {
+	var temps []string
+	temps = append(temps, p.tempName("a"))
+	return temps
+}
+
+// Passing the collector to another (non-drop) call also counts as an
+// ownership transfer.
+func okEscapesIntoCall(p *Planner, sink func([]string)) {
+	var temps []string
+	temps = append(temps, p.tempName("a"))
+	sink(temps)
+}
+
+// A straight-line drop runs on exactly one return path: the early
+// return above it leaks.
+func badStraightLineDrop(p *Planner, fail bool) bool {
+	var temps []string
+	temps = append(temps, p.tempName("a"))
+	if fail {
+		return false
+	}
+	p.dropTempObjects(temps) // want `dropTempObjects is not deferred`
+	return true
+}
+
+// The PR-5 planner defect shape: a collector accumulates cast targets
+// and is then simply forgotten.
+func badForgottenCollector(p *Planner) int64 {
+	var temps []string
+	res, ok := p.cast("big")
+	if !ok {
+		return 0
+	}
+	temps = append(temps, res.Target) // want `temps accumulates temp object names but never reaches dropTempObjects`
+	return res.Bytes
+}
+
+func okSuppressedMidLoopDrop(p *Planner) {
+	for i := 0; i < 3; i++ {
+		var temps []string
+		temps = append(temps, p.tempName("a"))
+		//lint:ignore templeak fixture: bounded loop drops per iteration on purpose
+		p.dropTempObjects(temps)
+	}
+}

@@ -1,0 +1,199 @@
+// Package unitchecker implements the `go vet -vettool=` driver
+// protocol with only the standard library, mirroring
+// golang.org/x/tools/go/analysis/unitchecker:
+//
+//  1. `tool -V=full` prints a version fingerprint for the go command's
+//     build cache (the do-not-cache buildID keeps results fresh while
+//     the tool itself is under development);
+//  2. `tool -flags` prints the tool's flag definitions as JSON (the go
+//     command queries this to validate user-supplied vet flags);
+//  3. `tool <dir>/vet.cfg` analyzes one package: the go command has
+//     already resolved the package graph and compiled every dependency,
+//     and the JSON config names the source files, the import map, and
+//     the export-data file for each dependency. The tool type-checks
+//     the package against that export data, runs the analyzers, prints
+//     findings to stderr, and exits 2 if there were any.
+//
+// Because the config's PackageFile map points at compiler export data
+// in the build cache, the whole flow works offline and needs no
+// third-party loader.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/driver"
+)
+
+// Config is the JSON schema of the go command's vet.cfg, trimmed to the
+// fields this driver consumes. Unknown fields are ignored.
+type Config struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vettool protocol and does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	var cfgPath string
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// Exact handshake format the go command's buildid probe expects.
+			fmt.Printf("%s version devel comments-go-here buildID=do-not-cache\n",
+				filepath.Base(os.Args[0]))
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			// No analyzer flags: report an empty flag set.
+			fmt.Println("[]")
+			os.Exit(0)
+		case arg == "help" || arg == "-h" || arg == "--help":
+			usage(analyzers)
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		}
+	}
+	if cfgPath == "" {
+		usage(analyzers)
+		os.Exit(1)
+	}
+	code, err := run(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bigdawg-vet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func usage(analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, `bigdawg-vet: polystore invariant analyzers for this repository.
+
+Usage (as a go vet tool):
+
+  go build -o /tmp/bigdawg-vet ./cmd/bigdawg-vet
+  go vet -vettool=/tmp/bigdawg-vet ./...
+
+Analyzers:
+`)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nSuppress a finding with a //lint:ignore <analyzer> <reason> comment\non, or on the line above, the flagged line (see internal/lint/README.md).\n")
+}
+
+func run(cfgPath string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parse %s: %w", cfgPath, err)
+	}
+
+	// Facts output: this suite defines no facts, but the go command
+	// expects the output file of the vet action to exist.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	if cfg.VetxOnly {
+		// Dependency pass run only to produce facts — nothing to do.
+		return 0, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	files, err := driver.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx()
+		}
+		return 1, err
+	}
+	pkg, info, err := driver.Check(fset, cfg.ImportPath, files, newImporter(fset, &cfg), cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx()
+		}
+		return 1, err
+	}
+
+	target := &driver.Target{
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		IsStd: func(path string) bool { return cfg.Standard[path] },
+	}
+	findings, err := driver.Run(target, analyzers)
+	if err != nil {
+		return 1, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if err := writeVetx(); err != nil {
+		return 1, err
+	}
+	if len(findings) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// newImporter resolves imports through the vet config: source import
+// paths map through ImportMap (vendoring, test variants), then the
+// resolved path's compiler export data is read from PackageFile.
+func newImporter(fset *token.FileSet, cfg *Config) types.Importer {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	underlying := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return underlying.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -182,7 +182,11 @@ func TestDump(t *testing.T) {
 
 func TestTCPIngestion(t *testing.T) {
 	e := NewEngine()
-	defer e.Close()
+	defer func() {
+		if err := e.Close(); err != nil {
+			t.Errorf("engine close: %v", err)
+		}
+	}()
 	_ = e.CreateStream("wf", waveSchema(), 100)
 	addr, err := e.Listen("127.0.0.1:0")
 	if err != nil {
