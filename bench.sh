@@ -14,6 +14,8 @@
 #   BENCHTIME=5x ./bench.sh   # quick smoke numbers
 #   ./bench.sh --lint         # time the bigdawg-vet suite repo-wide,
 #                             # write BENCH_lint.json, exit 1 on findings
+#   ./bench.sh --fault        # benchmark disabled-failpoint overhead,
+#                             # write BENCH_fault.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -94,6 +96,23 @@ to_json() {
   ' "$raw"
   echo "wrote $(grep -c '"name"' "$out") benchmark entries to $out" >&2
 }
+
+# --fault: price the fault-injection suite when it is idle — a bare
+# disarmed Hit, the Wrap passthrough, and the acceptance-scenario cast
+# with no failpoints armed — next to the pre-existing cast baseline.
+# BenchmarkFaultCastDisarmed vs BenchmarkCastPushdown/rows=10000/full
+# in the same snapshot must sit within run-to-run noise of each other:
+# that pair is the "failpoints are free when disabled" proof, tracked
+# PR over PR in BENCH_fault.json.
+if [[ "${1:-}" == "--fault" ]]; then
+  OUT_FAULT="${OUT_FAULT:-BENCH_fault.json}"
+  RAW_FAULT="$(mktemp)"
+  trap 'rm -f "$RAW_FAULT"' EXIT
+  run "$RAW_FAULT" ./internal/core 'BenchmarkFault'
+  run "$RAW_FAULT" ./internal/core 'BenchmarkCastPushdown/^rows=10000$/full'
+  to_json "$RAW_FAULT" "$OUT_FAULT"
+  exit 0
+fi
 
 RAW_RELATIONAL="$(mktemp)"
 RAW_PUSHDOWN="$(mktemp)"

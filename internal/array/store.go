@@ -78,6 +78,26 @@ func (s *Store) Remove(name string) error {
 	return nil
 }
 
+// Rename atomically moves an array to a new name. It fails if the
+// source is missing or the target name is taken, so a staged cast
+// commit cannot clobber an existing array.
+func (s *Store) Rename(oldName, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldKey, newKey := strings.ToLower(oldName), strings.ToLower(newName)
+	a, ok := s.arrays[oldKey]
+	if !ok {
+		return fmt.Errorf("array: no array %q", oldName)
+	}
+	if _, taken := s.arrays[newKey]; taken && newKey != oldKey {
+		return fmt.Errorf("array: array %q already exists", newName)
+	}
+	delete(s.arrays, oldKey)
+	a.Name = newName
+	s.arrays[newKey] = a
+	return nil
+}
+
 // Names lists stored arrays.
 func (s *Store) Names() []string {
 	s.mu.RLock()

@@ -10,7 +10,10 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 // benchStore memoizes one polystore per table size across sub-benchmarks.
@@ -83,5 +86,54 @@ func BenchmarkQueryPushdown(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkFaultHitDisarmed prices a failpoint call site when nothing
+// is armed — the cost every production cast pays per Hit. bench.sh
+// --fault snapshots it into BENCH_fault.json; it must stay at a single
+// atomic load (~1ns), i.e. zero against cast latency.
+func BenchmarkFaultHitDisarmed(b *testing.B) {
+	fault.Reset()
+	for i := 0; i < b.N; i++ {
+		if err := fault.Hit(FpCastDump); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultWrapDisarmed prices the writer interposer when nothing
+// is armed: Wrap must hand back the original writer, so the write is
+// the whole cost.
+func BenchmarkFaultWrapDisarmed(b *testing.B) {
+	fault.Reset()
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := fault.Wrap(FpCastPipe, io.Discard).Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultCastDisarmed runs the acceptance-scenario 10k-row full
+// cast with the failpoint suite idle. Its ns/op is directly comparable
+// to BenchmarkCastPushdown/rows=10000/full in BENCH_cast_pushdown.json:
+// the two must sit within run-to-run noise of each other, proving the
+// injected failpoints cost nothing when disabled.
+func BenchmarkFaultCastDisarmed(b *testing.B) {
+	fault.Reset()
+	p := pushdownStore(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		func() {
+			res, err := p.Cast("big", EnginePostgres, CastOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			defer b.StartTimer()
+			defer p.dropTempObjects([]string{res.Target})
+		}()
 	}
 }

@@ -1,0 +1,180 @@
+package core
+
+// The chaos-injection harness. It reuses the equivalence generator's
+// seeded federations and queries, runs every query fault-free for a
+// reference answer, then re-runs it on a second identical polystore
+// under a deterministic random fault schedule (errors, delays and
+// partial writes across every cast-pipeline failpoint). The invariant
+// for every query, faulted or not:
+//
+//   - the catalog and every engine's object listing and contents are
+//     identical to their pre-query state afterwards (atomic CASTs leak
+//     nothing, on success or failure), and
+//   - the query either succeeds — possibly via retry — with exactly the
+//     fault-free result, or fails with the injected fault in its error
+//     chain.
+//
+// Reproduce a failure with:
+//
+//	go test ./internal/core -run TestChaosRandomized -chaos-seed <N>
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+var (
+	chaosSeed  = flag.Int64("chaos-seed", -1, "run the chaos harness for exactly this seed")
+	chaosSeeds = flag.Int("chaos-seeds", 0, "number of seeds the chaos harness covers (0 = default)")
+)
+
+// chaosRetryPolicy keeps backoff waits microscopic so a 200-seed
+// matrix finishes quickly; attempts match the default policy.
+var chaosRetryPolicy = RetryPolicy{
+	MaxAttempts: 3,
+	BaseDelay:   100 * time.Microsecond,
+	MaxDelay:    time.Millisecond,
+}
+
+func TestChaosRandomized(t *testing.T) {
+	defer fault.Reset()
+	if *chaosSeed >= 0 {
+		if fired := runChaosSeed(t, *chaosSeed); fired == 0 {
+			t.Logf("seed %d: schedule never fired (all specs beyond the query's failpoint traffic)", *chaosSeed)
+		}
+		return
+	}
+	n := *chaosSeeds
+	if n == 0 {
+		n = 200
+		if testing.Short() {
+			n = 40
+		}
+	}
+	totalFired := 0
+	for s := 0; s < n; s++ {
+		seed := int64(s)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			totalFired += runChaosSeed(t, seed)
+		})
+	}
+	// The matrix is meaningless if schedules never actually trigger.
+	if !t.Failed() && totalFired < n {
+		t.Errorf("chaos matrix of %d seeds fired only %d faults — schedules are not reaching the pipeline", n, totalFired)
+	}
+}
+
+// runChaosSeed runs one seed of the chaos matrix and reports how many
+// injected faults actually fired.
+func runChaosSeed(t *testing.T, seed int64) int {
+	t.Helper()
+	g := &equivGen{rng: rand.New(rand.NewSource(seed))}
+	objs := g.catalog()
+	queries := g.queries(objs, 5)
+
+	build := func() *Polystore {
+		p := New()
+		for _, o := range objs {
+			if err := o.load(p); err != nil {
+				t.Fatalf("seed %d: load %s into %s: %v", seed, o.name, o.eng, err)
+			}
+		}
+		return p
+	}
+	ref := build()
+	chaos := build()
+	chaos.SetRetryPolicy(chaosRetryPolicy)
+
+	fired := 0
+	for qi, q := range queries {
+		refRel, refErr := ref.Query(q)
+
+		before := snapshotPolystore(t, chaos)
+		specs := fault.Schedule(seed*1009+int64(qi), CastFailpoints(), CastWriteFailpoints())
+		for _, sp := range specs {
+			fault.Arm(sp)
+		}
+		rel, err := chaos.Query(q)
+		for _, sp := range specs {
+			fired += fault.Fired(sp.Point)
+		}
+		fault.Reset()
+		after := snapshotPolystore(t, chaos)
+
+		if before != after {
+			t.Fatalf("seed %d: polystore state changed across faulted query %s\nschedule: %+v\nbefore:\n%s\nafter:\n%s",
+				seed, q, specs, before, after)
+		}
+		switch {
+		case refErr == nil && err == nil:
+			if cr, cc := canonRelation(refRel), canonRelation(rel); cr != cc {
+				t.Fatalf("seed %d: faulted run diverges from fault-free run on %s\nschedule: %+v\nref:     %s\nfaulted: %s\n%s",
+					seed, q, specs, cr, cc, describeCatalog(objs))
+			}
+		case refErr == nil && err != nil:
+			var fe *fault.Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("seed %d: faulted query %s failed without the injected fault in its chain: %v\nschedule: %+v",
+					seed, q, err, specs)
+			}
+		case refErr != nil && err == nil:
+			t.Fatalf("seed %d: query %s fails fault-free (%v) but succeeded under injection\nschedule: %+v",
+				seed, q, refErr, specs)
+		}
+	}
+	return fired
+}
+
+// snapshotPolystore captures everything a query could corrupt: the
+// catalog, each engine's raw object listing (so unregistered staged
+// leftovers are caught too), and the canonical contents of every
+// catalog object.
+func snapshotPolystore(t *testing.T, p *Polystore) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("catalog:")
+	for _, o := range p.Objects() {
+		fmt.Fprintf(&sb, " %s@%s->%s", o.Name, o.Engine, o.Physical)
+	}
+	listings := [][]string{
+		p.Relational.Tables(),
+		p.ArrayStore.Names(),
+		p.KV.Tables(),
+		tileNames(p),
+	}
+	for i, names := range listings {
+		sorted := append([]string(nil), names...)
+		sort.Strings(sorted)
+		fmt.Fprintf(&sb, "\nengine%d: %s", i, strings.Join(sorted, ","))
+	}
+	for _, o := range p.Objects() {
+		if o.Engine == EngineSStore {
+			continue // stream windows are time-indexed, not query-mutable
+		}
+		rel, err := p.Dump(o.Name)
+		if err != nil {
+			fmt.Fprintf(&sb, "\n%s: dump error %v", o.Name, err)
+			continue
+		}
+		fmt.Fprintf(&sb, "\n%s: %s", o.Name, canonRelation(rel))
+	}
+	return sb.String()
+}
+
+func tileNames(p *Polystore) []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.tile))
+	for name := range p.tile {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Failpoint names registered by the cast pipeline. Together with the
+// codec's frame points (engine.FpEncodeFrame, engine.FpDecodeFrame)
+// they cover every stage of dump → encode → pipe → decode → load →
+// commit; the chaos harness derives its schedules from this set.
+const (
+	// FpCastDump fires before the source object is dumped.
+	FpCastDump = "cast.dump"
+	// FpCastLoad fires before the staged copy starts loading.
+	FpCastLoad = "cast.load"
+	// FpCastLoadMid fires with the staged copy half-loaded — the point
+	// that proves rollback discards partial physical state.
+	FpCastLoadMid = "cast.load.mid"
+	// FpCastCommit fires before the stage→target rename, the last
+	// instant a fault can strike with zero visible effect.
+	FpCastCommit = "cast.commit"
+	// FpCastPipe interposes on the transport writer (Wrap point):
+	// partial-write specs truncate the wire stream mid-frame.
+	FpCastPipe = "cast.pipe.write"
+)
+
+// CastFailpoints lists every call-site failpoint on the cast path, in
+// pipeline order. Chaos schedules draw their error/delay specs from it.
+func CastFailpoints() []string {
+	return []string{
+		FpCastDump,
+		engine.FpEncodeFrame,
+		engine.FpDecodeFrame,
+		FpCastLoad,
+		FpCastLoadMid,
+		FpCastCommit,
+	}
+}
+
+// CastWriteFailpoints lists the writer-interposer failpoints on the
+// cast path — the points partial-write specs can truncate.
+func CastWriteFailpoints() []string {
+	return []string{FpCastPipe}
+}
+
+// RetryPolicy bounds how a CAST retries faults classified transient:
+// up to MaxAttempts total attempts with exponential backoff from
+// BaseDelay, capped at MaxDelay. Permanent faults and context
+// cancellation never retry.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+}
+
+// DefaultRetryPolicy is the polystore's out-of-the-box retry budget.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 3,
+	BaseDelay:   time.Millisecond,
+	MaxDelay:    50 * time.Millisecond,
+}
+
+// backoff is the delay before retry number attempt+1 (attempt counts
+// from 0): BaseDelay doubled per attempt, capped at MaxDelay.
+func (rp RetryPolicy) backoff(attempt int) time.Duration {
+	d := rp.BaseDelay
+	if d <= 0 {
+		d = DefaultRetryPolicy.BaseDelay
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if rp.MaxDelay > 0 && d >= rp.MaxDelay {
+			return rp.MaxDelay
+		}
+	}
+	if rp.MaxDelay > 0 && d > rp.MaxDelay {
+		d = rp.MaxDelay
+	}
+	return d
+}
+
+// IsTransientError reports whether err (anywhere in its chain) is a
+// fault the retry policy should spend an attempt on. Errors classify
+// themselves via an IsTransient method — injected *fault.Error does,
+// and a future networked engine's timeouts can too.
+func IsTransientError(err error) bool {
+	var t interface{ IsTransient() bool }
+	return errors.As(err, &t) && t.IsTransient()
+}
+
+// sleepCtx sleeps for d unless the context ends first, in which case
+// the context's error is returned.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -32,13 +33,25 @@ import (
 // entry and physical storage — before Query returns, so long-running
 // polystores no longer accumulate them.
 func (p *Polystore) Query(q string) (*engine.Relation, error) {
+	return p.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query with cancellation and deadlines: a done context
+// tears down any in-flight CAST pipeline (encoder, decoder and their
+// pipe all unwind — no goroutine outlives the call) and the atomic-cast
+// machinery guarantees the catalog and engines are left exactly as
+// they were before the query started.
+func (p *Polystore) QueryCtx(ctx context.Context, q string) (*engine.Relation, error) {
 	sq, err := parseScope(q)
 	if err != nil {
 		return nil, err
 	}
-	body, temps, err := p.prepareBody(sq.island, sq.body)
+	body, temps, err := p.prepareBody(ctx, sq.island, sq.body)
 	defer p.dropTempObjects(temps)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	switch sq.island {
@@ -47,9 +60,9 @@ func (p *Polystore) Query(q string) (*engine.Relation, error) {
 	case IslandSciDB:
 		return p.ArrayStore.Query(body)
 	case IslandRelational:
-		return p.relationalIsland(body)
+		return p.relationalIsland(ctx, body)
 	case IslandArray:
-		return p.arrayIsland(body)
+		return p.arrayIsland(ctx, body)
 	case IslandAccumulo:
 		return p.textIsland(body)
 	case IslandSStore:
@@ -68,15 +81,15 @@ func (p *Polystore) Query(q string) (*engine.Relation, error) {
 // migrated object's name — the planner-off path, and the fallback for
 // bodies the planner cannot analyse. The minted temp names are returned
 // (also on error) so the caller can reclaim them after the query.
-func (p *Polystore) resolveCasts(body string) (string, []string, error) {
-	return p.resolveCastsBudget(body, maxCastsPerQuery)
+func (p *Polystore) resolveCasts(ctx context.Context, body string) (string, []string, error) {
+	return p.resolveCastsBudget(ctx, body, maxCastsPerQuery)
 }
 
 // resolveCastsBudget is resolveCasts with an explicit CAST budget:
 // planners that already executed some of the body's CAST terms pass
 // the remainder, so a query resolves exactly maxCastsPerQuery terms —
 // and errors on one more — whether or not pushdown planned it.
-func (p *Polystore) resolveCastsBudget(body string, budget int) (string, []string, error) {
+func (p *Polystore) resolveCastsBudget(ctx context.Context, body string, budget int) (string, []string, error) {
 	var temps []string
 	for resolved := 0; ; resolved++ {
 		start, end, ok := findCall(body, "CAST", 0)
@@ -101,17 +114,17 @@ func (p *Polystore) resolveCastsBudget(body string, budget int) (string, []strin
 		var castName string
 		if looksLikeIslandQuery(src) {
 			// Nested island query: execute, then load the result.
-			rel, err := p.Query(src)
+			rel, err := p.QueryCtx(ctx, src)
 			if err != nil {
 				return "", temps, err
 			}
 			castName = p.tempName("subq")
 			temps = append(temps, castName)
-			if err := p.Load(target, castName, rel, CastOptions{}); err != nil {
+			if err := p.LoadCtx(ctx, target, castName, rel, CastOptions{}); err != nil {
 				return "", temps, err
 			}
 		} else {
-			res, err := p.Cast(src, target, CastOptions{})
+			res, err := p.CastCtx(ctx, src, target, CastOptions{})
 			if res.Target != "" {
 				temps = append(temps, res.Target)
 			}
@@ -140,7 +153,7 @@ func looksLikeIslandQuery(s string) bool {
 // Shim casts get the same pushdown analysis as explicit CASTs — the
 // query's own WHERE and column references travel down into the foreign
 // engine — and shim copies are dropped once the SELECT completes.
-func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
+func (p *Polystore) relationalIsland(ctx context.Context, body string) (*engine.Relation, error) {
 	stmt, err := relational.Parse(body)
 	if err != nil {
 		return nil, err
@@ -182,7 +195,7 @@ func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
 		if tables != nil && ti < len(tables) {
 			opts.Predicate, opts.Columns = computePushdown(sel, tables, ti)
 		}
-		res, err := p.Cast(ref.Name, EnginePostgres, opts)
+		res, err := p.CastCtx(ctx, ref.Name, EnginePostgres, opts)
 		if res.Target != "" {
 			temps = append(temps, res.Target)
 		}
@@ -209,7 +222,7 @@ func (p *Polystore) relationalIsland(body string) (*engine.Relation, error) {
 // arrayIsland runs an AFL query with location transparency: named
 // objects living outside the array engine are shimmed in first. Shim
 // copies are dropped once the query completes.
-func (p *Polystore) arrayIsland(body string) (*engine.Relation, error) {
+func (p *Polystore) arrayIsland(ctx context.Context, body string) (*engine.Relation, error) {
 	var temps []string
 	defer func() { p.dropTempObjects(temps) }()
 	for _, obj := range p.Objects() {
@@ -219,7 +232,7 @@ func (p *Polystore) arrayIsland(body string) (*engine.Relation, error) {
 		if !containsWord(body, obj.Name) {
 			continue
 		}
-		res, err := p.Cast(obj.Name, EngineSciDB, CastOptions{})
+		res, err := p.CastCtx(ctx, obj.Name, EngineSciDB, CastOptions{})
 		if res.Target != "" {
 			temps = append(temps, res.Target)
 		}

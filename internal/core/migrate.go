@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kvstore"
 	"repro/internal/relational"
 	"repro/internal/tiledb"
@@ -82,7 +84,10 @@ type CastResult struct {
 	Rows        int
 	RowsScanned int
 	Bytes       int64
-	Elapsed     time.Duration
+	// Retries counts attempts beyond the first that this migration spent
+	// on faults classified transient.
+	Retries int
+	Elapsed time.Duration
 }
 
 // Cast migrates a catalog object to another engine, registering the
@@ -90,6 +95,18 @@ type CastResult struct {
 // place (the paper defers replication/transactions to future work, so
 // CAST copies).
 func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastResult, error) {
+	return p.CastCtx(context.Background(), object, to, opts)
+}
+
+// CastCtx is Cast with cancellation, deadlines and fault tolerance.
+// The migration is atomic: the copy loads under an unregistered stage
+// name and is renamed + registered only once fully landed, so an error
+// or cancellation anywhere in dump → encode → decode → load → commit
+// leaves the catalog and every engine exactly as they were. Faults
+// classified transient (see IsTransientError) are retried with
+// exponential backoff within the polystore's RetryPolicy; each retry
+// restarts from a clean slate.
+func (p *Polystore) CastCtx(ctx context.Context, object string, to EngineKind, opts CastOptions) (CastResult, error) {
 	start := time.Now()
 	info, ok := p.Lookup(object)
 	if !ok {
@@ -104,6 +121,43 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 	if opts.Predicate != "" && to == EngineTileDB {
 		return res, fmt.Errorf("core: CastOptions.Predicate is not supported for TileDB targets (lossy coordinate load); filter after the cast")
 	}
+	target := opts.TargetName
+	if target == "" {
+		target = p.tempName("cast")
+	}
+	pol := p.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		err := p.castOnce(ctx, info, to, target, opts, &res)
+		if err == nil {
+			res.Target = target
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if ctx.Err() != nil || !IsTransientError(err) || attempt+1 >= pol.MaxAttempts {
+			res.Elapsed = time.Since(start)
+			return res, err
+		}
+		if serr := sleepCtx(ctx, pol.backoff(attempt)); serr != nil {
+			res.Elapsed = time.Since(start)
+			return res, serr
+		}
+		res.Retries++
+		p.castRetries.Add(1)
+	}
+}
+
+// castOnce runs one migration attempt into target. Any error leaves
+// zero trace: the staged copy is dropped before returning, and nothing
+// registers in the catalog until commit. res fields describing the
+// attempt (RowsScanned, Bytes, Rows) are overwritten per attempt.
+func (p *Polystore) castOnce(ctx context.Context, info ObjectInfo, to EngineKind, target string, opts CastOptions, res *CastResult) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := fault.Hit(FpCastDump); err != nil {
+		return err
+	}
+	stage := p.tempName("stage")
 	// Direct casts out of the relational engine move columnar end to
 	// end: the table's column cache is encoded straight to the wire and
 	// decoded straight into a ColumnBatch — no per-row Tuple boxing
@@ -114,31 +168,30 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 		!(opts.Predicate != "" && to == EngineSciDB) {
 		cb, scanned, applied, err := p.Relational.DumpBatchWhere(info.Physical, opts.Predicate, opts.Columns)
 		if err != nil {
-			return res, err
+			return err
 		}
 		res.RowsScanned = scanned
-		out, nbytes, err := castDirectBatch(cb)
+		out, nbytes, err := castDirectBatch(ctx, cb)
 		if err != nil {
-			return res, err
+			return err
 		}
 		res.Bytes = nbytes
-		target := opts.TargetName
-		if target == "" {
-			target = p.tempName("cast")
+		if err := p.stageBatch(ctx, to, stage, out, opts); err != nil {
+			p.dropPhysical(to, stage)
+			return err
 		}
-		if err := p.LoadBatch(to, target, out, opts); err != nil {
-			return res, err
+		if err := p.commitStage(ctx, to, stage, target); err != nil {
+			p.dropPhysical(to, stage)
+			return err
 		}
 		p.countCast(applied)
-		res.Target = target
 		res.Rows = out.NumRows
-		res.Elapsed = time.Since(start)
-		return res, nil
+		return nil
 	}
 
 	rel, scanned, applied, err := p.dumpFiltered(info, to, opts)
 	if err != nil {
-		return res, err
+		return err
 	}
 	res.RowsScanned = scanned
 
@@ -146,9 +199,9 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 	switch opts.Mode {
 	case CastDirect:
 		var nbytes int64
-		rel, nbytes, err = castDirect(rel)
+		rel, nbytes, err = castDirect(ctx, rel)
 		if err != nil {
-			return res, err
+			return err
 		}
 		res.Bytes = nbytes
 	case CastCSVFile:
@@ -158,52 +211,123 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 		}
 		f, err := os.CreateTemp(dir, "bigdawg_cast_*.csv")
 		if err != nil {
-			return res, err
+			return err
 		}
 		path := f.Name()
 		defer os.Remove(path)
 		bw := bufio.NewWriter(f)
-		if err := rel.WriteCSV(bw); err != nil {
+		if err := rel.WriteCSV(fault.Wrap(FpCastPipe, bw)); err != nil {
 			f.Close()
-			return res, err
+			return err
 		}
 		if err := bw.Flush(); err != nil {
 			f.Close()
-			return res, err
+			return err
 		}
 		if err := f.Close(); err != nil {
-			return res, err
+			return err
 		}
 		fi, err := os.Stat(path)
 		if err != nil {
-			return res, err
+			return err
 		}
 		res.Bytes = fi.Size()
 		rf, err := os.Open(filepath.Clean(path))
 		if err != nil {
-			return res, err
+			return err
 		}
 		rel, err = engine.ReadCSV(bufio.NewReader(rf))
 		rf.Close()
 		if err != nil {
-			return res, err
+			return err
 		}
 	default:
-		return res, fmt.Errorf("core: unknown cast mode %d", opts.Mode)
+		return fmt.Errorf("core: unknown cast mode %d", opts.Mode)
 	}
 
-	target := opts.TargetName
-	if target == "" {
-		target = p.tempName("cast")
+	if err := p.loadPhysical(ctx, to, stage, rel, opts); err != nil {
+		p.dropPhysical(to, stage)
+		return err
 	}
-	if err := p.Load(to, target, rel, opts); err != nil {
-		return res, err
+	if err := p.commitStage(ctx, to, stage, target); err != nil {
+		p.dropPhysical(to, stage)
+		return err
 	}
 	p.countCast(applied)
-	res.Target = target
 	res.Rows = rel.Len()
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return nil
+}
+
+// commitStage makes a fully-landed staged copy visible as target: the
+// physical object is renamed (refusing to clobber an existing one) and
+// only then registered in the catalog. Until the rename, a crash or
+// fault costs nothing but the unregistered stage object, which the
+// caller drops.
+func (p *Polystore) commitStage(ctx context.Context, to EngineKind, stage, target string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := fault.Hit(FpCastCommit); err != nil {
+		return err
+	}
+	if err := p.renamePhysical(to, stage, target); err != nil {
+		return err
+	}
+	if err := p.Register(target, to, target); err != nil {
+		// The logical name is taken. The rename proved the physical
+		// target name was free, so the renamed stage is ours to discard.
+		p.dropPhysical(to, target)
+		return err
+	}
+	return nil
+}
+
+// renamePhysical renames an engine-resident object. Physical names
+// track logical names everywhere (islands splice them into engine
+// queries), so commit renames rather than repointing the catalog.
+func (p *Polystore) renamePhysical(eng EngineKind, oldName, newName string) error {
+	switch eng {
+	case EnginePostgres:
+		return p.Relational.RenameTable(oldName, newName)
+	case EngineSciDB:
+		return p.ArrayStore.Rename(oldName, newName)
+	case EngineAccumulo:
+		return p.KV.Rename(oldName, newName)
+	case EngineTileDB:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		ok, nk := strings.ToLower(oldName), strings.ToLower(newName)
+		a, found := p.tile[ok]
+		if !found {
+			return fmt.Errorf("core: no tiledb array %q", oldName)
+		}
+		if _, taken := p.tile[nk]; taken && nk != ok {
+			return fmt.Errorf("core: tiledb array %q already exists", newName)
+		}
+		delete(p.tile, ok)
+		a.Name = newName
+		p.tile[nk] = a
+		return nil
+	default:
+		return fmt.Errorf("core: cannot rename in engine %q", eng)
+	}
+}
+
+// dropPhysical removes an engine-resident object, ignoring absence —
+// rollback for staged copies that never reached the catalog.
+func (p *Polystore) dropPhysical(eng EngineKind, name string) {
+	switch eng {
+	case EnginePostgres:
+		_ = p.Relational.DropTable(name)
+	case EngineSciDB:
+		_ = p.ArrayStore.Remove(name)
+	case EngineAccumulo:
+		_ = p.KV.DropTable(name)
+	case EngineTileDB:
+		p.mu.Lock()
+		delete(p.tile, strings.ToLower(name))
+		p.mu.Unlock()
+	}
 }
 
 // countCast records one completed migration in the pushed/full split
@@ -457,18 +581,64 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// pipeTransport wires up the shared plumbing of both direct-cast
+// transports: an io.Pipe with byte counting and the FpCastPipe fault
+// interposer on the write side, plus (when the context can end) a
+// watcher goroutine that tears the pipe down on cancellation. The
+// returned cancelWatch must be called once the decode side returns; it
+// stops the watcher so no goroutine outlives the cast.
+func pipeTransport(ctx context.Context) (pr *io.PipeReader, w io.Writer, pw *io.PipeWriter, cw *countingWriter, cancelWatch func()) {
+	pr, pw = io.Pipe()
+	cw = &countingWriter{w: pw}
+	w = fault.Wrap(FpCastPipe, cw)
+	cancelWatch = func() {}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				// Both ends of the pipe fail from here on: the encoder's
+				// next Write and the decoder's next Read return ctx.Err(),
+				// so both goroutines unwind promptly.
+				pr.CloseWithError(ctx.Err())
+			case <-stop:
+			}
+		}()
+		cancelWatch = func() { close(stop) }
+	}
+	return pr, w, pw, cw, cancelWatch
+}
+
+// transportErr settles the error of a finished direct-cast transport.
+// The encoder's error is preferred as the root cause: when the encoder
+// failed first the decoder only ever sees its echo wrapped as stream
+// corruption (which would hide an injected fault's transient
+// classification), and when the decoder failed first the encoder
+// reports the identical error echoed back through the closed pipe. A
+// done context trumps both — cancellation is the cause, whatever the
+// pipe surfaced first.
+func transportErr(ctx context.Context, decodeErr, encodeErr error) error {
+	err := decodeErr
+	if encodeErr != nil {
+		err = encodeErr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
 // castDirect streams rel through the v2 binary wire format with the
 // encoder and decoder running concurrently over an io.Pipe, so the
 // transport costs max(encode, decode) rather than their sum — the
 // paper's direct binary cast, without the seed's full-stream
 // bytes.Buffer staging. Large relations additionally fan batch decoding
-// out across CPUs.
-func castDirect(rel *engine.Relation) (*engine.Relation, int64, error) {
-	pr, pw := io.Pipe()
-	cw := &countingWriter{w: pw}
+// out across CPUs. Cancelling ctx tears both goroutines down.
+func castDirect(ctx context.Context, rel *engine.Relation) (*engine.Relation, int64, error) {
+	pr, w, pw, cw, cancelWatch := pipeTransport(ctx)
 	encodeErr := make(chan error, 1)
 	go func() {
-		err := rel.WriteBinary(cw)
+		err := rel.WriteBinary(w)
 		pw.CloseWithError(err)
 		encodeErr <- err
 	}()
@@ -479,11 +649,11 @@ func castDirect(rel *engine.Relation) (*engine.Relation, int64, error) {
 	} else {
 		out, err = engine.ReadBinary(pr)
 	}
+	cancelWatch()
 	if err != nil {
 		// Unblock the encoder if it is still mid-stream, then reap it.
 		pr.CloseWithError(err)
-		<-encodeErr
-		return nil, 0, err
+		return nil, 0, transportErr(ctx, err, <-encodeErr)
 	}
 	if werr := <-encodeErr; werr != nil {
 		return nil, 0, werr
@@ -495,12 +665,11 @@ func castDirect(rel *engine.Relation) (*engine.Relation, int64, error) {
 // encode/decode over a pipe, but one wire frame decodes into one
 // columnar mini-batch, so the transport allocates per frame rather than
 // per row.
-func castDirectBatch(cb *engine.ColumnBatch) (*engine.ColumnBatch, int64, error) {
-	pr, pw := io.Pipe()
-	cw := &countingWriter{w: pw}
+func castDirectBatch(ctx context.Context, cb *engine.ColumnBatch) (*engine.ColumnBatch, int64, error) {
+	pr, w, pw, cw, cancelWatch := pipeTransport(ctx)
 	encodeErr := make(chan error, 1)
 	go func() {
-		err := cb.WriteBinary(cw)
+		err := cb.WriteBinary(w)
 		pw.CloseWithError(err)
 		encodeErr <- err
 	}()
@@ -509,10 +678,10 @@ func castDirectBatch(cb *engine.ColumnBatch) (*engine.ColumnBatch, int64, error)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out, err := engine.ReadBinaryColumnar(pr, workers)
+	cancelWatch()
 	if err != nil {
 		pr.CloseWithError(err)
-		<-encodeErr
-		return nil, 0, err
+		return nil, 0, transportErr(ctx, err, <-encodeErr)
 	}
 	if werr := <-encodeErr; werr != nil {
 		return nil, 0, werr
@@ -525,20 +694,88 @@ func castDirectBatch(cb *engine.ColumnBatch) (*engine.ColumnBatch, int64, error)
 // directly; other engines receive the arena-materialised relation (two
 // allocations for all tuples, not one per row).
 func (p *Polystore) LoadBatch(to EngineKind, name string, cb *engine.ColumnBatch, opts CastOptions) error {
-	if to == EnginePostgres {
-		if err := p.Relational.InsertBatch(name, cb); err != nil {
+	return p.LoadBatchCtx(context.Background(), to, name, cb, opts)
+}
+
+// LoadBatchCtx is LoadBatch with cancellation, staged like LoadCtx.
+func (p *Polystore) LoadBatchCtx(ctx context.Context, to EngineKind, name string, cb *engine.ColumnBatch, opts CastOptions) error {
+	stage := p.tempName("stage")
+	if err := p.stageBatch(ctx, to, stage, cb, opts); err != nil {
+		p.dropPhysical(to, stage)
+		return err
+	}
+	return p.commitStageOrDrop(ctx, to, stage, name)
+}
+
+// stageBatch lands a column batch under an unregistered stage name.
+// The columnar fast path only runs with no failpoints armed: under
+// injection the batch goes through the split relation path so faults
+// can observe (and rollback can discard) a half-loaded copy.
+func (p *Polystore) stageBatch(ctx context.Context, to EngineKind, stage string, cb *engine.ColumnBatch, opts CastOptions) error {
+	if to == EnginePostgres && !fault.Active() {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		return p.Register(name, to, name)
+		return p.Relational.InsertBatch(stage, cb)
 	}
-	return p.Load(to, name, cb.ToRelation(), opts)
+	return p.loadPhysical(ctx, to, stage, cb.ToRelation(), opts)
 }
 
 // Load materialises a relation as a new object in the target engine and
 // registers it in the catalog — the ingress half of CAST.
 func (p *Polystore) Load(to EngineKind, name string, rel *engine.Relation, opts CastOptions) error {
+	return p.LoadCtx(context.Background(), to, name, rel, opts)
+}
+
+// LoadCtx is Load with cancellation. Like CastCtx it is atomic: the
+// relation lands under an unregistered stage name and is renamed +
+// registered only once complete, so a failed or cancelled load leaves
+// no partial object in the engine and no catalog entry.
+func (p *Polystore) LoadCtx(ctx context.Context, to EngineKind, name string, rel *engine.Relation, opts CastOptions) error {
+	stage := p.tempName("stage")
+	if err := p.loadPhysical(ctx, to, stage, rel, opts); err != nil {
+		p.dropPhysical(to, stage)
+		return err
+	}
+	return p.commitStageOrDrop(ctx, to, stage, name)
+}
+
+// commitStageOrDrop commits a staged copy, dropping it on failure.
+func (p *Polystore) commitStageOrDrop(ctx context.Context, to EngineKind, stage, name string) error {
+	if err := p.commitStage(ctx, to, stage, name); err != nil {
+		p.dropPhysical(to, stage)
+		return err
+	}
+	return nil
+}
+
+// loadPhysical materialises a relation in the target engine under name
+// without touching the catalog — the staging half of every load.
+// Multi-step engine loads evaluate FpCastLoadMid part-way through, so
+// fault schedules can strand a half-loaded object for rollback to
+// discard; relational loads split into two halves under injection for
+// the same reason.
+func (p *Polystore) loadPhysical(ctx context.Context, to EngineKind, name string, rel *engine.Relation, opts CastOptions) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := fault.Hit(FpCastLoad); err != nil {
+		return err
+	}
 	switch to {
 	case EnginePostgres:
+		if fault.Active() {
+			half := rel.Len() / 2
+			first := &engine.Relation{Schema: rel.Schema, Tuples: rel.Tuples[:half]}
+			if err := p.Relational.InsertRelation(name, first); err != nil {
+				return err
+			}
+			if err := fault.Hit(FpCastLoadMid); err != nil {
+				return err
+			}
+			rest := &engine.Relation{Schema: rel.Schema, Tuples: rel.Tuples[half:]}
+			return p.Relational.InsertRelation(name, rest)
+		}
 		if err := p.Relational.InsertRelation(name, rel); err != nil {
 			return err
 		}
@@ -558,6 +795,9 @@ func (p *Polystore) Load(to EngineKind, name string, rel *engine.Relation, opts 
 			return err
 		}
 		p.ArrayStore.Put(a)
+		if err := fault.Hit(FpCastLoadMid); err != nil {
+			return err
+		}
 	case EngineAccumulo:
 		if err := p.loadKV(name, rel); err != nil {
 			return err
@@ -570,12 +810,15 @@ func (p *Polystore) Load(to EngineKind, name string, rel *engine.Relation, opts 
 		p.mu.Lock()
 		p.tile[strings.ToLower(name)] = a
 		p.mu.Unlock()
+		if err := fault.Hit(FpCastLoadMid); err != nil {
+			return err
+		}
 	case EngineSStore:
 		return fmt.Errorf("core: cannot CAST into the streaming engine; streams ingest via TCP or Append")
 	default:
 		return fmt.Errorf("core: unknown target engine %q", to)
 	}
-	return p.Register(name, to, name)
+	return nil
 }
 
 // loadKV stores a relation in the key-value engine. Relations already
@@ -596,6 +839,11 @@ func (p *Polystore) loadKV(name string, rel *engine.Relation) error {
 		return fmt.Errorf("core: relation needs ≥ 2 columns to load into accumulo")
 	}
 	if err := p.KV.CreateTable(name); err != nil {
+		return err
+	}
+	// The table now exists with no entries — the half-loaded state a
+	// fault here strands for rollback to discard.
+	if err := fault.Hit(FpCastLoadMid); err != nil {
 		return err
 	}
 	var es []kvstore.Entry
@@ -700,6 +948,13 @@ func relationToTileDB(name string, rel *engine.Relation) (*tiledb.Array, error) 
 // the same logical name (with a fresh physical name), then repoint the
 // catalog — the operation the monitoring system (§2.1) recommends.
 func (p *Polystore) Migrate(object string, to EngineKind, opts CastOptions) (CastResult, error) {
+	return p.MigrateCtx(context.Background(), object, to, opts)
+}
+
+// MigrateCtx is Migrate with cancellation and the atomic-cast
+// guarantees of CastCtx: a failed or cancelled migration leaves the
+// object exactly where it was.
+func (p *Polystore) MigrateCtx(ctx context.Context, object string, to EngineKind, opts CastOptions) (CastResult, error) {
 	info, ok := p.Lookup(object)
 	if !ok {
 		return CastResult{}, fmt.Errorf("core: unknown object %q", object)
@@ -708,7 +963,7 @@ func (p *Polystore) Migrate(object string, to EngineKind, opts CastOptions) (Cas
 		return CastResult{Object: object, From: to, To: to, Target: info.Physical}, nil
 	}
 	opts.TargetName = p.tempName("mig_" + object)
-	res, err := p.Cast(object, to, opts)
+	res, err := p.CastCtx(ctx, object, to, opts)
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,19 +40,19 @@ const maxCastsPerQuery = 32
 // rewritten body plus the temp object names minted along the way; the
 // caller must drop them once the query completes (temps are returned
 // even alongside an error, so partial work is still reclaimed).
-func (p *Polystore) prepareBody(island Island, body string) (string, []string, error) {
+func (p *Polystore) prepareBody(ctx context.Context, island Island, body string) (string, []string, error) {
 	if !p.pushdownOn() {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	switch island {
 	case IslandRelational, IslandPostgres:
-		return p.planRelational(body)
+		return p.planRelational(ctx, body)
 	case IslandArray, IslandSciDB:
-		return p.planArray(body)
+		return p.planArray(ctx, body)
 	case IslandAccumulo:
-		return p.planText(body)
+		return p.planText(ctx, body)
 	default:
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 }
 
@@ -71,7 +72,7 @@ type pendingCast struct {
 // placeholder identifier, returning the rewritten body and the pending
 // casts. Nested island-query sources are executed here (their schema is
 // needed for analysis and they must run exactly once).
-func (p *Polystore) extractCasts(body string) (string, []*pendingCast, error) {
+func (p *Polystore) extractCasts(ctx context.Context, body string) (string, []*pendingCast, error) {
 	var pend []*pendingCast
 	from := 0
 	for {
@@ -96,7 +97,7 @@ func (p *Polystore) extractCasts(body string) (string, []*pendingCast, error) {
 		}
 		pc := &pendingCast{placeholder: p.tempName("cast"), target: target, src: strings.TrimSpace(args[0])}
 		if looksLikeIslandQuery(pc.src) {
-			rel, err := p.Query(pc.src)
+			rel, err := p.QueryCtx(ctx, pc.src)
 			if err != nil {
 				return body, pend, err
 			}
@@ -113,10 +114,10 @@ func (p *Polystore) extractCasts(body string) (string, []*pendingCast, error) {
 // runCast executes one pending cast with the given pushdown options,
 // registering the copy under the placeholder. It returns the temp name
 // for cleanup (minted regardless of success, so callers always reclaim).
-func (p *Polystore) runCast(pc *pendingCast, opts CastOptions) (string, error) {
+func (p *Polystore) runCast(ctx context.Context, pc *pendingCast, opts CastOptions) (string, error) {
 	opts.TargetName = pc.placeholder
 	if !pc.nested {
-		_, err := p.Cast(pc.src, pc.target, opts)
+		_, err := p.CastCtx(ctx, pc.src, pc.target, opts)
 		return pc.placeholder, err
 	}
 	// Nested sources only ever carry pushdown into relation-shaped
@@ -125,7 +126,7 @@ func (p *Polystore) runCast(pc *pendingCast, opts CastOptions) (string, error) {
 	if err != nil {
 		return pc.placeholder, err
 	}
-	if err := p.Load(pc.target, pc.placeholder, rel, CastOptions{Dense: opts.Dense}); err != nil {
+	if err := p.LoadCtx(ctx, pc.target, pc.placeholder, rel, CastOptions{Dense: opts.Dense}); err != nil {
 		return pc.placeholder, err
 	}
 	p.countCast(rel != pc.nestedRel) // nested casts count in CastStats too
@@ -138,11 +139,11 @@ func (p *Polystore) runCast(pc *pendingCast, opts CastOptions) (string, error) {
 // terms, parse the rewritten statement, and derive a per-cast predicate
 // and projection from the SELECT's own clauses. Bodies the planner
 // cannot analyse (DML, parse errors) migrate their casts in full.
-func (p *Polystore) planRelational(body string) (string, []string, error) {
+func (p *Polystore) planRelational(ctx context.Context, body string) (string, []string, error) {
 	if _, _, ok := findCall(body, "CAST", 0); !ok {
 		return body, nil, nil // no CASTs; shims get their own pushdown
 	}
-	rewritten, pend, err := p.extractCasts(body)
+	rewritten, pend, err := p.extractCasts(ctx, body)
 	var temps []string
 	if err != nil {
 		return rewritten, temps, err
@@ -168,7 +169,7 @@ func (p *Polystore) planRelational(body string) (string, []string, error) {
 		if ti := tableIndexOf(tables, pc.placeholder); ti >= 0 && pc.known && pc.target == EnginePostgres {
 			opts.Predicate, opts.Columns = computePushdown(sel, tables, ti)
 		}
-		tmp, err := p.runCast(pc, opts)
+		tmp, err := p.runCast(ctx, pc, opts)
 		temps = append(temps, tmp)
 		if err != nil {
 			return rewritten, temps, err
@@ -449,7 +450,7 @@ func pushdownSafeArrayBody(body string) bool {
 // CAST as a filtered migration. The filter stays in the body (it is
 // idempotent over the pre-filtered copy), so a condition the source
 // cannot evaluate simply falls back to full migration.
-func (p *Polystore) planArray(body string) (string, []string, error) {
+func (p *Polystore) planArray(ctx context.Context, body string) (string, []string, error) {
 	var temps []string
 	pushdownSafe := pushdownSafeArrayBody(body)
 	pushed := 0
@@ -498,11 +499,21 @@ func (p *Polystore) planArray(body string) (string, []string, error) {
 		bs, be, _ := findCall(body, "CAST", start)
 		ph := p.tempName("cast")
 		temps = append(temps, ph)
-		if _, err := p.Cast(src, target, CastOptions{TargetName: ph, Predicate: cond}); err != nil {
+		if _, err := p.CastCtx(ctx, src, target, CastOptions{TargetName: ph, Predicate: cond}); err != nil {
 			// A predicate matching zero rows cannot land (arrays cannot be
-			// empty) and Cast reports it as an error; migrate in full
+			// empty) and Cast reports it as an error; recast in full
 			// instead — the body's own filter still prunes after the move.
-			if _, err2 := p.Cast(src, target, CastOptions{TargetName: ph}); err2 != nil {
+			// The recast goes through the polystore's retry policy: it
+			// waits one backoff step and counts in RetryStats, so the
+			// fallback is governed and observable like any other retry.
+			if ctx.Err() != nil {
+				return body, temps, ctx.Err()
+			}
+			if serr := sleepCtx(ctx, p.retryPolicy().backoff(0)); serr != nil {
+				return body, temps, serr
+			}
+			p.castRetries.Add(1)
+			if _, err2 := p.CastCtx(ctx, src, target, CastOptions{TargetName: ph}); err2 != nil {
 				return body, temps, err2
 			}
 		}
@@ -514,7 +525,7 @@ func (p *Polystore) planArray(body string) (string, []string, error) {
 	// untranslatable conditions) migrate in full, on whatever is left of
 	// the query's CAST budget — planned or not, exactly maxCastsPerQuery
 	// terms resolve before the guard trips.
-	rest, moreTemps, err := p.resolveCastsBudget(body, maxCastsPerQuery-pushed)
+	rest, moreTemps, err := p.resolveCastsBudget(ctx, body, maxCastsPerQuery-pushed)
 	return rest, append(temps, moreTemps...), err
 }
 
@@ -546,10 +557,10 @@ func translatableCondition(cond string, schema engine.Schema) (string, bool) {
 // 'lo' [, 'hi']) and get(CAST(x, text), 'row') push the row range down
 // as a predicate over the source's row-key column (its first column,
 // which loadKV maps to the Accumulo row key).
-func (p *Polystore) planText(body string) (string, []string, error) {
+func (p *Polystore) planText(ctx context.Context, body string) (string, []string, error) {
 	cmd, args, err := parseCommand(body)
 	if err != nil {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	var lo, hi string
 	switch {
@@ -562,44 +573,44 @@ func (p *Polystore) planText(body string) (string, []string, error) {
 		lo = unquote(args[1])
 		hi = lo
 	default:
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	castArg := strings.TrimSpace(args[0])
 	cs, ce, cok := findCall(castArg, "CAST", 0)
 	if !cok || cs != 0 || ce != len(castArg) || (lo == "" && hi == "") {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	cargs := splitTopArgs(castArg[len("CAST(") : len(castArg)-1])
 	if len(cargs) != 2 {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	target, err := castTargetEngine(cargs[1])
 	if err != nil || target != EngineAccumulo {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	src := strings.TrimSpace(cargs[0])
 	if looksLikeIslandQuery(src) {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	info, ok := p.Lookup(src)
 	if !ok {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	schema, ok := p.objectSchema(info)
 	if !ok || len(schema.Columns) == 0 || !plainIdent(schema.Columns[0].Name) {
-		return p.resolveCasts(body)
+		return p.resolveCasts(ctx, body)
 	}
 	pred := rowRangePredicate(schema.Columns[0].Name, lo, hi)
 
 	bs, be, _ := findCall(body, "CAST", 0)
 	ph := p.tempName("cast")
 	temps := []string{ph}
-	if _, err := p.Cast(src, target, CastOptions{TargetName: ph, Predicate: pred}); err != nil {
+	if _, err := p.CastCtx(ctx, src, target, CastOptions{TargetName: ph, Predicate: pred}); err != nil {
 		return body, temps, err
 	}
 	// Any further CAST terms (e.g. inside the range arguments) resolve
 	// in full against the remaining budget, exactly as planner-off would.
-	rest, moreTemps, err := p.resolveCastsBudget(body[:bs]+ph+body[be:], maxCastsPerQuery-1)
+	rest, moreTemps, err := p.resolveCastsBudget(ctx, body[:bs]+ph+body[be:], maxCastsPerQuery-1)
 	return rest, append(temps, moreTemps...), err
 }
 

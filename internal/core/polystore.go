@@ -63,6 +63,12 @@ type Polystore struct {
 	tile     map[string]*tiledb.Array
 	tempSeq  int
 	pushdown bool
+	retry    RetryPolicy
+
+	// castRetries counts retry attempts spent across all CASTs — both
+	// the transient-fault retry loop and the planner's zero-match
+	// fallback recast.
+	castRetries atomic.Int64
 
 	// CAST accounting: migrations where a source-side predicate or
 	// projection actually applied vs full-object migrations (a requested
@@ -108,6 +114,27 @@ func (p *Polystore) pushdownOn() bool {
 	defer p.mu.RUnlock()
 	return p.pushdown
 }
+
+// SetRetryPolicy overrides the transient-fault retry budget for CASTs
+// (DefaultRetryPolicy when unset or when MaxAttempts ≤ 0).
+func (p *Polystore) SetRetryPolicy(rp RetryPolicy) {
+	p.mu.Lock()
+	p.retry = rp
+	p.mu.Unlock()
+}
+
+func (p *Polystore) retryPolicy() RetryPolicy {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.retry.MaxAttempts <= 0 {
+		return DefaultRetryPolicy
+	}
+	return p.retry
+}
+
+// RetryStats reports how many retry attempts CASTs have spent since
+// the polystore was assembled.
+func (p *Polystore) RetryStats() int64 { return p.castRetries.Load() }
 
 // Register adds a catalog entry for an object already present in its
 // home engine.

@@ -12,6 +12,7 @@ package core
 //	go test ./internal/core -fuzz FuzzFindCall -fuzztime 30s
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -230,13 +231,13 @@ func TestCastCountGuardBoundary(t *testing.T) {
 		n  int
 		ok bool
 	}{{maxCastsPerQuery, true}, {maxCastsPerQuery + 1, false}} {
-		_, temps, err := p.resolveCasts(body(tc.n))
+		_, temps, err := p.resolveCasts(context.Background(), body(tc.n))
 		//lint:ignore templeak per-iteration cleanup in a bounded table-driven loop; a defer would pile temps up until the test returns
 		p.dropTempObjects(temps)
 		if (err == nil) != tc.ok {
 			t.Errorf("resolveCasts with %d CAST terms: err=%v, want ok=%v", tc.n, err, tc.ok)
 		}
-		_, pend, err := p.extractCasts(body(tc.n))
+		_, pend, err := p.extractCasts(context.Background(), body(tc.n))
 		for _, pc := range pend {
 			//lint:ignore templeak per-iteration cleanup in a bounded table-driven loop; a defer would pile temps up until the test returns
 			p.dropTempObjects([]string{pc.placeholder})
@@ -250,7 +251,7 @@ func TestCastCountGuardBoundary(t *testing.T) {
 		for i := range arrTerms {
 			arrTerms[i] = "filter(CAST(wf, array), v > 1.5)"
 		}
-		_, temps, err = p.planArray("f(" + strings.Join(arrTerms, ", ") + ")")
+		_, temps, err = p.planArray(context.Background(), "f("+strings.Join(arrTerms, ", ")+")")
 		//lint:ignore templeak per-iteration cleanup in a bounded table-driven loop; a defer would pile temps up until the test returns
 		p.dropTempObjects(temps)
 		if (err == nil) != tc.ok {

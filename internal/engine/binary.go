@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Binary wire format v2 used by the direct CAST path. Layout:
@@ -35,6 +37,17 @@ import (
 // (no magic, u64 tuple count up front, values in one run); v1 streams
 // are deliberately subject to the same uniform bounds below, so a v1
 // stream with e.g. a >4KiB column name is rejected rather than trusted.
+
+// Wire-codec failpoints, evaluated once per batch frame (not per value,
+// so the disabled-path cost is one atomic load per ~64KiB). Chaos tests
+// arm them to fail or stall a stream at exact frame boundaries.
+const (
+	// FpEncodeFrame fires before each frame (and the end-of-stream
+	// marker) is written — row and columnar encoders both.
+	FpEncodeFrame = "wire.encode.frame"
+	// FpDecodeFrame fires before each frame header is read.
+	FpDecodeFrame = "wire.decode.frame"
+)
 
 var errCorrupt = errors.New("engine: corrupt binary relation")
 
@@ -130,6 +143,9 @@ func (r *Relation) WriteBinary(w io.Writer) error {
 	payload := make([]byte, 0, batchTargetBytes+4096)
 	var hdr [8]byte
 	flush := func(count int) error {
+		if err := fault.Hit(FpEncodeFrame); err != nil {
+			return err
+		}
 		binary.LittleEndian.PutUint32(hdr[:4], uint32(count))
 		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 		if _, err := w.Write(hdr[:]); err != nil {
@@ -188,6 +204,9 @@ func (r *Relation) WriteBinary(w io.Writer) error {
 		if err := flush(count); err != nil {
 			return err
 		}
+	}
+	if err := fault.Hit(FpEncodeFrame); err != nil {
+		return err
 	}
 	var tail [4]byte // u32 0: end-of-stream marker
 	_, err := w.Write(tail[:])
@@ -335,6 +354,9 @@ func readSchema(r io.Reader, ncols uint32) (Schema, error) {
 // readFrameHeader reads one batch frame header, validating bounds
 // against the schema arity. count == 0 signals end of stream.
 func readFrameHeader(r io.Reader, ncols int) (count, payloadLen int, err error) {
+	if err := fault.Hit(FpDecodeFrame); err != nil {
+		return 0, 0, err
+	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		return 0, 0, corruptf("truncated batch header: %v", err)

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Columnar codec for the v2 wire format: the same byte stream
@@ -27,6 +29,9 @@ func (cb *ColumnBatch) WriteBinary(w io.Writer) error {
 	payload := make([]byte, 0, batchTargetBytes+4096)
 	var hdr [8]byte
 	flush := func(count int) error {
+		if err := fault.Hit(FpEncodeFrame); err != nil {
+			return err
+		}
 		binary.LittleEndian.PutUint32(hdr[:4], uint32(count))
 		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 		if _, err := w.Write(hdr[:]); err != nil {
@@ -92,6 +97,9 @@ func (cb *ColumnBatch) WriteBinary(w io.Writer) error {
 		if err := flush(count); err != nil {
 			return err
 		}
+	}
+	if err := fault.Hit(FpEncodeFrame); err != nil {
+		return err
 	}
 	var tail [4]byte
 	_, err := w.Write(tail[:])

@@ -357,6 +357,23 @@ func TestBinaryCorruptStreamsError(t *testing.T) {
 			t.Errorf("got %v, want errCorrupt", err)
 		}
 	})
+	t.Run("truncated at frame boundaries", func(t *testing.T) {
+		// A stream cut off exactly at a frame header, inside one, or
+		// right after one (the shapes a partial write produces) must
+		// yield a clean error from both decoders — never a panic, never
+		// a silently short relation.
+		full := valid()
+		hdr := frameHeaderOffset(t, full)
+		for _, cut := range []int{hdr, hdr + 4, hdr + 8, len(full) - 4, len(full) - 1} {
+			b := full[:cut]
+			if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+				t.Errorf("cut at %d: sequential decode accepted truncated stream", cut)
+			}
+			if _, err := ReadBinaryParallel(bytes.NewReader(b), 4); err == nil {
+				t.Errorf("cut at %d: parallel decode accepted truncated stream", cut)
+			}
+		}
+	})
 	t.Run("parallel sees corruption too", func(t *testing.T) {
 		b := valid()
 		off := frameHeaderOffset(t, b)
@@ -370,7 +387,7 @@ func TestBinaryCorruptStreamsError(t *testing.T) {
 // frameHeaderOffset computes where the first batch frame starts in a v2
 // stream produced from sampleRelation (magic + ncols + per-column
 // headers + u64 declared tuple count).
-func frameHeaderOffset(t *testing.T, b []byte) int {
+func frameHeaderOffset(t testing.TB, b []byte) int {
 	t.Helper()
 	off := 8 // magic + column count
 	ncols := int(uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24)
@@ -410,6 +427,14 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(v1.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x42, 0x44, 0x57, 0x32}) // bare magic
+	// Partial-write shapes: streams cut exactly at the first frame
+	// header, mid-header, and just past it (header without payload) —
+	// what a writer that died between frame boundaries leaves behind.
+	hdr := frameHeaderOffset(f, v2.Bytes())
+	f.Add(v2.Bytes()[:hdr])
+	f.Add(v2.Bytes()[:hdr+4])
+	f.Add(v2.Bytes()[:hdr+8])
+	f.Add(v2.Bytes()[:len(v2.Bytes())-4]) // missing end marker
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rel, err := ReadBinary(bytes.NewReader(data))
 		if err == nil {

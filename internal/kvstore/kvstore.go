@@ -117,6 +117,26 @@ func (s *Store) DropTable(name string) error {
 	return nil
 }
 
+// Rename atomically moves a table to a new name. It fails if the
+// source is missing or the target name is taken, so a staged cast
+// commit cannot clobber an existing table.
+func (s *Store) Rename(oldName, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldKey, newKey := strings.ToLower(oldName), strings.ToLower(newName)
+	t, ok := s.tables[oldKey]
+	if !ok {
+		return fmt.Errorf("kvstore: no table %q", oldName)
+	}
+	if _, taken := s.tables[newKey]; taken && newKey != oldKey {
+		return fmt.Errorf("kvstore: table %q already exists", newName)
+	}
+	delete(s.tables, oldKey)
+	t.name = newName
+	s.tables[newKey] = t
+	return nil
+}
+
 // Tables lists table names.
 func (s *Store) Tables() []string {
 	s.mu.RLock()

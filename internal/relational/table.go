@@ -345,6 +345,26 @@ func (db *DB) DropTable(name string) error {
 	return nil
 }
 
+// RenameTable atomically moves a table to a new name. It fails if the
+// source is missing or the target name is taken, so a staged cast
+// commit cannot clobber an existing table.
+func (db *DB) RenameTable(oldName, newName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	oldKey, newKey := strings.ToLower(oldName), strings.ToLower(newName)
+	t, ok := db.tables[oldKey]
+	if !ok {
+		return fmt.Errorf("relational: no table %q", oldName)
+	}
+	if _, taken := db.tables[newKey]; taken && newKey != oldKey {
+		return fmt.Errorf("relational: table %q already exists", newName)
+	}
+	delete(db.tables, oldKey)
+	t.Name = newName
+	db.tables[newKey] = t
+	return nil
+}
+
 // table fetches a table by name (case-insensitive).
 func (db *DB) table(name string) (*Table, error) {
 	t, ok := db.tables[strings.ToLower(name)]
