@@ -16,6 +16,8 @@
 #                             # write BENCH_lint.json, exit 1 on findings
 #   ./bench.sh --fault        # benchmark disabled-failpoint overhead,
 #                             # write BENCH_fault.json
+#   ./bench.sh --obs          # benchmark tracing disabled vs enabled,
+#                             # write BENCH_obs.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -39,7 +41,7 @@ if [[ "${1:-}" == "--lint" ]]; then
 
   # Findings are "<pos>: <msg> (<analyzer>)" lines; go vet also echoes
   # "# <package>" headers to stderr, so count only analyzer lines.
-  nfindings=$(grep -cE '\((lockheld|templeak|decodebounds|batchalias|errdrop)\)$' "$FINDINGS" || true)
+  nfindings=$(grep -cE '\((lockheld|templeak|spanend|decodebounds|batchalias|errdrop)\)$' "$FINDINGS" || true)
   npackages=$(go list ./... | wc -l | tr -d ' ')
 
   cat > "$OUT_LINT" <<EOF
@@ -111,6 +113,23 @@ if [[ "${1:-}" == "--fault" ]]; then
   run "$RAW_FAULT" ./internal/core 'BenchmarkFault'
   run "$RAW_FAULT" ./internal/core 'BenchmarkCastPushdown/^rows=10000$/full'
   to_json "$RAW_FAULT" "$OUT_FAULT"
+  exit 0
+fi
+
+# --obs: price the observability layer — the acceptance cast and the
+# end-to-end pushdown query, each with tracing off (plain context, the
+# production default) and on (live span tree). The off/on deltas in
+# BENCH_obs.json are the "tracing is free when disabled" proof: the
+# trace=off rows must sit within run-to-run noise of the untraced
+# baselines (BenchmarkFaultCastDisarmed, BenchmarkQueryPushdown), and
+# TestObsDisabledZeroAlloc pins the disabled path to zero allocations
+# in CI.
+if [[ "${1:-}" == "--obs" ]]; then
+  OUT_OBS="${OUT_OBS:-BENCH_obs.json}"
+  RAW_OBS="$(mktemp)"
+  trap 'rm -f "$RAW_OBS"' EXIT
+  run "$RAW_OBS" ./internal/core 'BenchmarkObsCast|BenchmarkObsQuery'
+  to_json "$RAW_OBS" "$OUT_OBS"
   exit 0
 fi
 

@@ -9,11 +9,13 @@ package core
 // records CastResult.Bytes.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/trace"
 )
 
 // benchStore memoizes one polystore per table size across sub-benchmarks.
@@ -135,5 +137,71 @@ func BenchmarkFaultCastDisarmed(b *testing.B) {
 			defer b.StartTimer()
 			defer p.dropTempObjects([]string{res.Target})
 		}()
+	}
+}
+
+// BenchmarkObsCast prices the cast pipeline's instrumentation.
+// trace=off runs on a plain context — the production default, where
+// every trace.Start site is one context.Value miss and every span
+// method a nil check — and must sit within run-to-run noise of
+// BenchmarkFaultCastDisarmed. trace=on carries a live trace, pricing
+// the full span tree. bench.sh --obs snapshots the pair into
+// BENCH_obs.json.
+func BenchmarkObsCast(b *testing.B) {
+	for _, traced := range []bool{false, true} {
+		name := "trace=off"
+		if traced {
+			name = "trace=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := pushdownStore(b, 10_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				func() {
+					ctx := context.Background()
+					var root *trace.Span
+					if traced {
+						ctx, root = trace.New(ctx, "bench")
+					}
+					res, err := p.CastCtx(ctx, "big", EnginePostgres, CastOptions{})
+					root.End()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					defer b.StartTimer()
+					defer p.dropTempObjects([]string{res.Target})
+				}()
+			}
+		})
+	}
+}
+
+// BenchmarkObsQuery is the same pair for the end-to-end island query —
+// parse, plan, pushdown cast, execute — so BENCH_obs.json prices the
+// instrumentation against the full QueryCtx path too.
+func BenchmarkObsQuery(b *testing.B) {
+	const q = `RELATIONAL(SELECT a, b FROM CAST(big, relation) WHERE a < 10)`
+	for _, traced := range []bool{false, true} {
+		name := "trace=off"
+		if traced {
+			name = "trace=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := pushdownStore(b, 10_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx := context.Background()
+				var root *trace.Span
+				if traced {
+					ctx, root = trace.New(ctx, "bench")
+				}
+				_, err := p.QueryCtx(ctx, q)
+				root.End()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// This file closes the paper's §2.1 monitoring loop and exposes the
+// trace machinery as EXPLAIN ANALYZE: every successful QueryCtx call is
+// classified into a monitor.QueryClass and recorded against the catalog
+// objects it touched, so placement advice derives from live traffic;
+// and any query can be run under a trace whose span tree renders as a
+// per-stage latency report.
+
+// classifyBody buckets a query into the capability it exercises — the
+// heuristic mirror of the paper's query classes. The signal is the
+// island (degenerate islands pin the class) plus the body's keywords:
+// aggregation or joins mean analytics, array math means linear algebra,
+// search means text, anything else is a lookup.
+func classifyBody(island Island, body string) monitor.QueryClass {
+	switch island {
+	case IslandSStore:
+		return monitor.ClassStreaming
+	case IslandD4M:
+		return monitor.ClassLinearAlgebra
+	case IslandAccumulo:
+		if containsWord(body, "search") || containsWord(body, "searchscan") {
+			return monitor.ClassTextSearch
+		}
+		return monitor.ClassLookup
+	case IslandArray, IslandSciDB:
+		for _, op := range []string{"multiply", "regrid", "window", "fft", "transpose"} {
+			if containsWord(body, op) {
+				return monitor.ClassLinearAlgebra
+			}
+		}
+		if containsWord(body, "aggregate") {
+			return monitor.ClassSQLAnalytics
+		}
+		return monitor.ClassLookup
+	case IslandRelational, IslandPostgres, IslandMyria:
+		for _, kw := range []string{"join", "group", "count", "sum", "avg", "min", "max"} {
+			if containsWord(body, kw) {
+				return monitor.ClassSQLAnalytics
+			}
+		}
+		return monitor.ClassLookup
+	default:
+		return monitor.ClassLookup
+	}
+}
+
+// islandEngine names the engine that serves an island's queries — the
+// engine a monitor observation is attributed to.
+func islandEngine(island Island) EngineKind {
+	switch island {
+	case IslandRelational, IslandPostgres, IslandMyria:
+		return EnginePostgres
+	case IslandArray, IslandSciDB:
+		return EngineSciDB
+	case IslandAccumulo, IslandD4M:
+		return EngineAccumulo
+	case IslandSStore:
+		return EngineSStore
+	default:
+		return EnginePostgres
+	}
+}
+
+// monitorWildcard is the object name federation-wide observations are
+// recorded under when a query references no catalog object (DDL,
+// literals-only selects). It keeps the acceptance invariant simple:
+// every successful QueryCtx yields at least one observation.
+const monitorWildcard = "*"
+
+// observeQuery feeds the monitor one (object, class, engine, latency)
+// observation per catalog object the body references — executed on the
+// island's serving engine — or a single federation-wide observation
+// when it references none.
+func (p *Polystore) observeQuery(island Island, class monitor.QueryClass, body string, elapsed time.Duration) {
+	eng := string(islandEngine(island))
+	matched := false
+	for _, obj := range p.Objects() {
+		if !containsWord(body, obj.Name) {
+			continue
+		}
+		p.Monitor.Record(obj.Name, class, eng, elapsed)
+		matched = true
+	}
+	if !matched {
+		p.Monitor.Record(monitorWildcard, class, eng, elapsed)
+	}
+}
+
+// ExplainAnalyze executes the query under a fresh trace and returns the
+// rendered span tree alongside the result — per-stage durations, cast
+// wire bytes, rows scanned vs moved, retry attempts and the planner's
+// pushdown decision, the polystore's EXPLAIN ANALYZE. The report is
+// returned even when the query errors, so failed queries can be
+// diagnosed from their partial tree.
+func (p *Polystore) ExplainAnalyze(ctx context.Context, q string) (string, *engine.Relation, error) {
+	ctx, root := trace.New(ctx, "explain")
+	rel, err := p.QueryCtx(ctx, q)
+	root.End()
+	report := root
+	if kids := root.Children(); len(kids) == 1 {
+		report = kids[0] // the query span is the whole story
+	}
+	var sb strings.Builder
+	sb.WriteString(report.String())
+	if err != nil {
+		sb.WriteString("error: " + err.Error() + "\n")
+	}
+	return sb.String(), rel, err
+}

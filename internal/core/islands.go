@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/kvstore"
 	"repro/internal/myria"
 	"repro/internal/relational"
+	"repro/internal/trace"
 )
 
 // Query executes one SCOPE/CAST query, e.g.
@@ -41,20 +43,60 @@ func (p *Polystore) Query(q string) (*engine.Relation, error) {
 // pipe all unwind — no goroutine outlives the call) and the atomic-cast
 // machinery guarantees the catalog and engines are left exactly as
 // they were before the query started.
+//
+// Every call is observable twice over: when ctx carries a trace (see
+// internal/trace and ExplainAnalyze) the parse → plan → execute stages
+// open spans, with the per-cast migrate pipeline nesting underneath;
+// and every successful call classifies the query (monitor.QueryClass)
+// and feeds an (object, class, engine, latency) observation into
+// p.Monitor — the paper's §2.1 loop, closed from live traffic instead
+// of hand-written probe calls.
 func (p *Polystore) QueryCtx(ctx context.Context, q string) (*engine.Relation, error) {
+	start := time.Now()
+	ctx, qspan := trace.Start(ctx, "query")
+	defer qspan.End()
+	_, pspan := trace.Start(ctx, "parse")
 	sq, err := parseScope(q)
+	pspan.End()
 	if err != nil {
+		p.om.queryErrors.Inc()
 		return nil, err
 	}
-	body, temps, err := p.prepareBody(ctx, sq.island, sq.body)
+	class := classifyBody(sq.island, sq.body)
+	qspan.SetStr("island", string(sq.island))
+	qspan.SetStr("class", string(class))
+	plctx, plspan := trace.Start(ctx, "plan")
+	body, temps, err := p.prepareBody(plctx, sq.island, sq.body)
+	plspan.End()
 	defer p.dropTempObjects(temps)
+	if err == nil {
+		err = ctx.Err()
+	}
+	var rel *engine.Relation
+	if err == nil {
+		ectx, espan := trace.Start(ctx, "execute")
+		rel, err = p.dispatch(ectx, sq.island, body)
+		espan.End()
+	}
 	if err != nil {
+		p.om.queryErrors.Inc()
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	elapsed := time.Since(start)
+	p.om.queryLatency.Observe(elapsed)
+	if c := p.om.queryCount[sq.island]; c != nil {
+		c.Inc()
 	}
-	switch sq.island {
+	if c := p.om.classCount[class]; c != nil {
+		c.Inc()
+	}
+	p.observeQuery(sq.island, class, sq.body, elapsed)
+	return rel, nil
+}
+
+// dispatch routes a prepared body to its island.
+func (p *Polystore) dispatch(ctx context.Context, island Island, body string) (*engine.Relation, error) {
+	switch island {
 	case IslandPostgres:
 		return p.Relational.Execute(body)
 	case IslandSciDB:
@@ -72,7 +114,7 @@ func (p *Polystore) QueryCtx(ctx context.Context, q string) (*engine.Relation, e
 	case IslandMyria:
 		return nil, fmt.Errorf("core: the MYRIA island is programmatic; use ExecuteMyria")
 	default:
-		return nil, fmt.Errorf("core: island %q not dispatchable", sq.island)
+		return nil, fmt.Errorf("core: island %q not dispatchable", island)
 	}
 }
 

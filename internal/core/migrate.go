@@ -17,6 +17,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/relational"
 	"repro/internal/tiledb"
+	"repro/internal/trace"
 )
 
 // CastMode selects the data-movement path behind the CAST operator.
@@ -87,6 +88,9 @@ type CastResult struct {
 	// Retries counts attempts beyond the first that this migration spent
 	// on faults classified transient.
 	Retries int
+	// Pushed reports whether a source-side predicate or projection
+	// actually applied before the wire (the CastStats split, per cast).
+	Pushed  bool
 	Elapsed time.Duration
 }
 
@@ -121,29 +125,77 @@ func (p *Polystore) CastCtx(ctx context.Context, object string, to EngineKind, o
 	if opts.Predicate != "" && to == EngineTileDB {
 		return res, fmt.Errorf("core: CastOptions.Predicate is not supported for TileDB targets (lossy coordinate load); filter after the cast")
 	}
+	ctx, cspan := trace.Start(ctx, "cast")
+	defer cspan.End()
+	cspan.SetStr("object", object)
+	cspan.SetStr("from", string(info.Engine))
+	cspan.SetStr("to", string(to))
+	if opts.Predicate != "" {
+		cspan.SetStr("predicate", opts.Predicate)
+	}
+	if len(opts.Columns) > 0 {
+		cspan.SetStr("columns", strings.Join(opts.Columns, ","))
+	}
 	target := opts.TargetName
 	if target == "" {
 		target = p.tempName("cast")
 	}
 	pol := p.retryPolicy()
 	for attempt := 0; ; attempt++ {
-		err := p.castOnce(ctx, info, to, target, opts, &res)
+		actx, aspan := trace.Start(ctx, "attempt")
+		aspan.SetInt("n", int64(attempt))
+		err := p.castOnce(actx, info, to, target, opts, &res)
+		if err != nil {
+			aspan.SetStr("error", err.Error())
+		}
+		aspan.End()
 		if err == nil {
 			res.Target = target
 			res.Elapsed = time.Since(start)
+			p.finishCast(cspan, &res, nil)
 			return res, nil
 		}
 		if ctx.Err() != nil || !IsTransientError(err) || attempt+1 >= pol.MaxAttempts {
 			res.Elapsed = time.Since(start)
+			p.finishCast(cspan, &res, err)
 			return res, err
 		}
 		if serr := sleepCtx(ctx, pol.backoff(attempt)); serr != nil {
 			res.Elapsed = time.Since(start)
+			p.finishCast(cspan, &res, serr)
 			return res, serr
 		}
 		res.Retries++
-		p.castRetries.Add(1)
+		p.om.castRetries.Inc()
 	}
+}
+
+// finishCast settles a migration's observability: the cast span gets
+// its byte/row/pushdown annotations and the registry its counters. A
+// failed migration counts only as an error — bytes and rows that never
+// landed are not added to the moved totals.
+func (p *Polystore) finishCast(sp *trace.Span, res *CastResult, err error) {
+	sp.SetInt("wire_bytes", res.Bytes)
+	sp.SetInt("rows_scanned", int64(res.RowsScanned))
+	sp.SetInt("rows_moved", int64(res.Rows))
+	if res.Retries > 0 {
+		sp.SetInt("retries", int64(res.Retries))
+	}
+	if err != nil {
+		sp.SetStr("outcome", "error")
+		p.om.castErrors.Inc()
+		return
+	}
+	if res.Pushed {
+		sp.SetStr("pushdown", "pushed")
+	} else {
+		sp.SetStr("pushdown", "full")
+	}
+	p.om.castCount.Inc()
+	p.om.castLatency.Observe(res.Elapsed)
+	p.om.castBytes.Add(res.Bytes)
+	p.om.castRowsScanned.Add(int64(res.RowsScanned))
+	p.om.castRowsMoved.Add(int64(res.Rows))
 }
 
 // castOnce runs one migration attempt into target. Any error leaves
@@ -166,22 +218,31 @@ func (p *Polystore) castOnce(ctx context.Context, info ObjectInfo, to EngineKind
 	// cells (see scidbCellFilter), not the raw rows this path filters.
 	if opts.Mode == CastDirect && info.Engine == EnginePostgres &&
 		!(opts.Predicate != "" && to == EngineSciDB) {
+		_, dspan := trace.Start(ctx, "dump")
 		cb, scanned, applied, err := p.Relational.DumpBatchWhere(info.Physical, opts.Predicate, opts.Columns)
+		dspan.End()
 		if err != nil {
 			return err
 		}
 		res.RowsScanned = scanned
-		out, nbytes, err := castDirectBatch(ctx, cb)
+		res.Pushed = applied
+		wctx, wspan := trace.Start(ctx, "wire")
+		out, nbytes, err := castDirectBatch(wctx, cb)
+		wspan.SetInt("bytes", nbytes)
+		wspan.End()
 		if err != nil {
 			return err
 		}
 		res.Bytes = nbytes
-		if err := p.stageBatch(ctx, to, stage, out, opts); err != nil {
-			p.dropPhysical(to, stage)
+		_, lspan := trace.Start(ctx, "load")
+		err = p.stageBatch(ctx, to, stage, out, opts)
+		lspan.End()
+		if err != nil {
+			p.rollback(ctx, to, stage)
 			return err
 		}
 		if err := p.commitStage(ctx, to, stage, target); err != nil {
-			p.dropPhysical(to, stage)
+			p.rollback(ctx, to, stage)
 			return err
 		}
 		p.countCast(applied)
@@ -189,73 +250,107 @@ func (p *Polystore) castOnce(ctx context.Context, info ObjectInfo, to EngineKind
 		return nil
 	}
 
+	_, dspan := trace.Start(ctx, "dump")
 	rel, scanned, applied, err := p.dumpFiltered(info, to, opts)
+	dspan.End()
 	if err != nil {
 		return err
 	}
 	res.RowsScanned = scanned
+	res.Pushed = applied
 
 	// Move the bytes through the selected transport.
 	switch opts.Mode {
 	case CastDirect:
+		wctx, wspan := trace.Start(ctx, "wire")
 		var nbytes int64
-		rel, nbytes, err = castDirect(ctx, rel)
+		rel, nbytes, err = castDirect(wctx, rel)
+		wspan.SetInt("bytes", nbytes)
+		wspan.End()
 		if err != nil {
 			return err
 		}
 		res.Bytes = nbytes
 	case CastCSVFile:
-		dir := opts.TempDir
-		if dir == "" {
-			dir = os.TempDir()
-		}
-		f, err := os.CreateTemp(dir, "bigdawg_cast_*.csv")
+		_, wspan := trace.Start(ctx, "wire")
+		wspan.SetStr("mode", "csv")
+		var nbytes int64
+		rel, nbytes, err = castCSV(rel, opts.TempDir)
+		wspan.SetInt("bytes", nbytes)
+		wspan.End()
 		if err != nil {
 			return err
 		}
-		path := f.Name()
-		defer os.Remove(path)
-		bw := bufio.NewWriter(f)
-		if err := rel.WriteCSV(fault.Wrap(FpCastPipe, bw)); err != nil {
-			f.Close()
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fi, err := os.Stat(path)
-		if err != nil {
-			return err
-		}
-		res.Bytes = fi.Size()
-		rf, err := os.Open(filepath.Clean(path))
-		if err != nil {
-			return err
-		}
-		rel, err = engine.ReadCSV(bufio.NewReader(rf))
-		rf.Close()
-		if err != nil {
-			return err
-		}
+		res.Bytes = nbytes
 	default:
 		return fmt.Errorf("core: unknown cast mode %d", opts.Mode)
 	}
 
-	if err := p.loadPhysical(ctx, to, stage, rel, opts); err != nil {
-		p.dropPhysical(to, stage)
+	_, lspan := trace.Start(ctx, "load")
+	err = p.loadPhysical(ctx, to, stage, rel, opts)
+	lspan.End()
+	if err != nil {
+		p.rollback(ctx, to, stage)
 		return err
 	}
 	if err := p.commitStage(ctx, to, stage, target); err != nil {
-		p.dropPhysical(to, stage)
+		p.rollback(ctx, to, stage)
 		return err
 	}
 	p.countCast(applied)
 	res.Rows = rel.Len()
 	return nil
+}
+
+// castCSV round-trips a relation through a CSV file — the file-based
+// transport the paper's direct binary cast is benchmarked against. It
+// returns the re-imported relation and the file size.
+func castCSV(rel *engine.Relation, dir string) (*engine.Relation, int64, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "bigdawg_cast_*.csv")
+	if err != nil {
+		return nil, 0, err
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	bw := bufio.NewWriter(f)
+	if err := rel.WriteCSV(fault.Wrap(FpCastPipe, bw)); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, 0, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	rf, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := engine.ReadCSV(bufio.NewReader(rf))
+	rf.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, fi.Size(), nil
+}
+
+// rollback discards a staged copy after a failed attempt — the
+// compensating half of the atomic cast — recording the event as a span
+// and in the rollback counter.
+func (p *Polystore) rollback(ctx context.Context, to EngineKind, stage string) {
+	_, sp := trace.Start(ctx, "rollback")
+	p.dropPhysical(to, stage)
+	p.om.castRollbacks.Inc()
+	sp.End()
 }
 
 // commitStage makes a fully-landed staged copy visible as target: the
@@ -264,6 +359,8 @@ func (p *Polystore) castOnce(ctx context.Context, info ObjectInfo, to EngineKind
 // fault costs nothing but the unregistered stage object, which the
 // caller drops.
 func (p *Polystore) commitStage(ctx context.Context, to EngineKind, stage, target string) error {
+	_, sp := trace.Start(ctx, "commit")
+	defer sp.End()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -339,9 +436,9 @@ func (p *Polystore) dropPhysical(eng EngineKind, name string) {
 // counts as full, so the stats never over-report planner engagement.
 func (p *Polystore) countCast(pushed bool) {
 	if pushed {
-		p.castsPushed.Add(1)
+		p.om.castPushed.Inc()
 	} else {
-		p.castsFull.Add(1)
+		p.om.castFull.Inc()
 	}
 }
 
@@ -635,13 +732,20 @@ func transportErr(ctx context.Context, decodeErr, encodeErr error) error {
 // bytes.Buffer staging. Large relations additionally fan batch decoding
 // out across CPUs. Cancelling ctx tears both goroutines down.
 func castDirect(ctx context.Context, rel *engine.Relation) (*engine.Relation, int64, error) {
+	parent := trace.FromContext(ctx)
 	pr, w, pw, cw, cancelWatch := pipeTransport(ctx)
 	encodeErr := make(chan error, 1)
 	go func() {
+		enc := parent.StartChild("encode")
 		err := rel.WriteBinary(w)
 		pw.CloseWithError(err)
+		// End before the send: the main goroutine may inspect or render
+		// the trace as soon as it reads encodeErr, and an open span there
+		// would be an orphan.
+		enc.End()
 		encodeErr <- err
 	}()
+	dec := parent.StartChild("decode")
 	var out *engine.Relation
 	var err error
 	if rel.Len() >= parallelCastRows {
@@ -649,6 +753,7 @@ func castDirect(ctx context.Context, rel *engine.Relation) (*engine.Relation, in
 	} else {
 		out, err = engine.ReadBinary(pr)
 	}
+	dec.End()
 	cancelWatch()
 	if err != nil {
 		// Unblock the encoder if it is still mid-stream, then reap it.
@@ -666,18 +771,24 @@ func castDirect(ctx context.Context, rel *engine.Relation) (*engine.Relation, in
 // columnar mini-batch, so the transport allocates per frame rather than
 // per row.
 func castDirectBatch(ctx context.Context, cb *engine.ColumnBatch) (*engine.ColumnBatch, int64, error) {
+	parent := trace.FromContext(ctx)
 	pr, w, pw, cw, cancelWatch := pipeTransport(ctx)
 	encodeErr := make(chan error, 1)
 	go func() {
+		enc := parent.StartChild("encode")
 		err := cb.WriteBinary(w)
 		pw.CloseWithError(err)
+		// End before the send — see castDirect.
+		enc.End()
 		encodeErr <- err
 	}()
+	dec := parent.StartChild("decode")
 	workers := 1
 	if cb.NumRows >= parallelCastRows {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out, err := engine.ReadBinaryColumnar(pr, workers)
+	dec.End()
 	cancelWatch()
 	if err != nil {
 		pr.CloseWithError(err)
@@ -701,7 +812,7 @@ func (p *Polystore) LoadBatch(to EngineKind, name string, cb *engine.ColumnBatch
 func (p *Polystore) LoadBatchCtx(ctx context.Context, to EngineKind, name string, cb *engine.ColumnBatch, opts CastOptions) error {
 	stage := p.tempName("stage")
 	if err := p.stageBatch(ctx, to, stage, cb, opts); err != nil {
-		p.dropPhysical(to, stage)
+		p.rollback(ctx, to, stage)
 		return err
 	}
 	return p.commitStageOrDrop(ctx, to, stage, name)
@@ -734,16 +845,16 @@ func (p *Polystore) Load(to EngineKind, name string, rel *engine.Relation, opts 
 func (p *Polystore) LoadCtx(ctx context.Context, to EngineKind, name string, rel *engine.Relation, opts CastOptions) error {
 	stage := p.tempName("stage")
 	if err := p.loadPhysical(ctx, to, stage, rel, opts); err != nil {
-		p.dropPhysical(to, stage)
+		p.rollback(ctx, to, stage)
 		return err
 	}
 	return p.commitStageOrDrop(ctx, to, stage, name)
 }
 
-// commitStageOrDrop commits a staged copy, dropping it on failure.
+// commitStageOrDrop commits a staged copy, rolling it back on failure.
 func (p *Polystore) commitStageOrDrop(ctx context.Context, to EngineKind, stage, name string) error {
 	if err := p.commitStage(ctx, to, stage, name); err != nil {
-		p.dropPhysical(to, stage)
+		p.rollback(ctx, to, stage)
 		return err
 	}
 	return nil

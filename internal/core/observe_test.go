@@ -1,0 +1,291 @@
+package core
+
+// Observability acceptance tests: the span tree under faults and
+// cancellation (no orphan spans — the tracing analogue of the
+// goroutine-leak pinning), EXPLAIN ANALYZE on a cross-island CAST, the
+// metrics registry fed by real queries, and the §2.1 monitor loop —
+// every successful QueryCtx call produces at least one observation.
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+// TestTraceRecordsRetryAndRollback pins the span tree of a seeded
+// faulted run: a transient commit fault costs one rollback and one
+// retry, and both must be visible in the trace.
+func TestTraceRecordsRetryAndRollback(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	p := demoStore(t)
+	p.SetRetryPolicy(RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond})
+	fault.Arm(fault.Spec{Point: FpCastCommit, Mode: fault.ModeError, Transient: true})
+
+	ctx, root := trace.New(context.Background(), "test")
+	res, err := p.CastCtx(ctx, "patients", EngineSciDB, CastOptions{})
+	fault.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.dropTempObjects([]string{res.Target})
+	if res.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", res.Retries)
+	}
+	if open := root.Trace().OpenSpans(); open != 1 {
+		t.Fatalf("open spans before root end = %d, want 1 (the root)\n%s", open, root.String())
+	}
+	root.End()
+
+	attempts := root.FindAll("attempt")
+	if len(attempts) != 2 {
+		t.Fatalf("attempt spans = %d, want 2\n%s", len(attempts), root.String())
+	}
+	if _, ok := attempts[0].Attr("error"); !ok {
+		t.Errorf("first attempt has no error attr\n%s", root.String())
+	}
+	if root.Find("rollback") == nil {
+		t.Errorf("no rollback span recorded\n%s", root.String())
+	}
+	cast := root.Find("cast")
+	if cast == nil {
+		t.Fatalf("no cast span\n%s", root.String())
+	}
+	if a, ok := cast.Attr("retries"); !ok || a.Int != 1 {
+		t.Errorf("cast retries attr = %+v ok=%v", a, ok)
+	}
+	if p.Metrics.Counter("cast.rollbacks").Load() < 1 {
+		t.Error("cast.rollbacks counter not incremented")
+	}
+}
+
+// TestCancelledQueryClosesSpans proves a query cancelled mid-cast ends
+// every span it opened: after the root is ended, no span in the tree is
+// still open, and no goroutine outlives the call.
+func TestCancelledQueryClosesSpans(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	base := runtime.NumGoroutine()
+	p := bigStore(t, 100_000)
+
+	// Slow the encoder so the deadline lands mid-wire.
+	fault.Arm(fault.Spec{Point: engine.FpEncodeFrame, Mode: fault.ModeDelay,
+		Delay: 5 * time.Millisecond, Times: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	ctx, root := trace.New(ctx, "test")
+	_, err := p.QueryCtx(ctx, `RELATIONAL(SELECT * FROM CAST(big, relation))`)
+	fault.Reset()
+	if err == nil {
+		t.Fatal("cancelled query succeeded")
+	}
+	if open := root.Trace().OpenSpans(); open != 1 {
+		t.Fatalf("open spans after cancelled query = %d, want 1 (the root)\n%s", open, root.String())
+	}
+	root.End()
+	if root.Trace().OpenSpans() != 0 {
+		t.Fatal("root did not close")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestExplainAnalyzeCrossIslandCast is the acceptance case: EXPLAIN
+// ANALYZE on a cross-island CAST query prints the span tree with
+// per-stage durations, wire bytes, rows scanned vs moved, and the
+// planner's pushdown decision.
+func TestExplainAnalyzeCrossIslandCast(t *testing.T) {
+	p := demoStore(t)
+	report, rel, err := p.ExplainAnalyze(context.Background(),
+		`RELATIONAL(SELECT t FROM CAST(wf, relation) WHERE v > 1)`)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, report)
+	}
+	if rel == nil || rel.Len() == 0 {
+		t.Fatal("no result rows")
+	}
+	for _, want := range []string{
+		"query", "parse", "plan", "execute", // stage spans
+		"cast", "dump", "wire", "load", "commit", // migrate pipeline
+		"island=RELATIONAL", "class=lookup",
+		"wire_bytes=", "rows_scanned=", "rows_moved=",
+		"pushdown=pushed", "predicate=", // the planner's decision
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Every span line carries a duration (µs/ms/s suffix somewhere).
+	if !strings.ContainsAny(report, "µm") {
+		t.Errorf("report has no durations:\n%s", report)
+	}
+}
+
+// TestQueryMetricsPopulated runs real queries and checks the registry
+// surface: island and class counters, latency histograms for queries
+// and casts, wire-byte and row accounting, and the expvar export.
+func TestQueryMetricsPopulated(t *testing.T) {
+	p := demoStore(t)
+	queries := []string{
+		`RELATIONAL(SELECT name FROM patients WHERE age > 60)`,
+		`RELATIONAL(SELECT t FROM CAST(wf, relation) WHERE v > 1)`,
+		`ARRAY(aggregate(wf, avg(v)))`,
+	}
+	for _, q := range queries {
+		if _, err := p.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	snap := p.Metrics.Snapshot()
+	if n := snap["query.count.relational"]; n != int64(2) {
+		t.Errorf("query.count.relational = %v, want 2", n)
+	}
+	if n := snap["query.count.array"]; n != int64(1) {
+		t.Errorf("query.count.array = %v, want 1", n)
+	}
+	qh, ok := snap["query.latency"].(metrics.HistogramSnapshot)
+	if !ok || qh.Count != 3 {
+		t.Errorf("query.latency = %+v", snap["query.latency"])
+	}
+	if qh.P50Ms < 0 || qh.P99Ms < qh.P50Ms {
+		t.Errorf("query quantiles out of order: %+v", qh)
+	}
+	ch, ok := snap["cast.latency"].(metrics.HistogramSnapshot)
+	if !ok || ch.Count < 1 {
+		t.Errorf("cast.latency = %+v", snap["cast.latency"])
+	}
+	for _, name := range []string{"cast.wire_bytes", "cast.rows_scanned", "cast.rows_moved"} {
+		if n, _ := snap[name].(int64); n <= 0 {
+			t.Errorf("%s = %v, want > 0", name, snap[name])
+		}
+	}
+	if n, _ := snap["engine.postgres.queries"].(int64); n <= 0 {
+		t.Errorf("engine.postgres.queries gauge = %v", snap["engine.postgres.queries"])
+	}
+	// CastStats/RetryStats now read the same counters.
+	pushed, full := p.CastStats()
+	if pushed+full < 1 {
+		t.Errorf("CastStats = %d/%d", pushed, full)
+	}
+	// The expvar view renders the same snapshot as JSON.
+	if s := p.Metrics.String(); !strings.Contains(s, `"query.count.relational": 2`) {
+		t.Errorf("expvar string missing counter: %s", s)
+	}
+}
+
+// TestMonitorFedByQueryCtx pins the paper's loop: every successful
+// QueryCtx call feeds at least one (object, class, engine, latency)
+// observation into the monitor, attributed to the objects the query
+// touched.
+func TestMonitorFedByQueryCtx(t *testing.T) {
+	p := demoStore(t)
+	queries := []string{
+		`RELATIONAL(SELECT COUNT(*) AS n FROM patients)`,
+		`RELATIONAL(SELECT t FROM CAST(wf, relation) WHERE v > 1)`,
+		`ARRAY(filter(wf, v > 0))`,
+	}
+	for _, q := range queries {
+		before := p.Monitor.TotalObservations()
+		if _, err := p.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if after := p.Monitor.TotalObservations(); after <= before {
+			t.Errorf("%s: observations %d -> %d, want an increase", q, before, after)
+		}
+	}
+	// The analytics query over patients landed under the right triple.
+	if _, ok := p.Monitor.Latency("patients", monitor.ClassSQLAnalytics, string(EnginePostgres)); !ok {
+		t.Error("no (patients, sql_analytics, postgres) observation")
+	}
+	// And a failed query records nothing.
+	before := p.Monitor.TotalObservations()
+	if _, err := p.Query(`RELATIONAL(SELECT * FROM no_such_table_anywhere)`); err == nil {
+		t.Fatal("bogus query succeeded")
+	}
+	if after := p.Monitor.TotalObservations(); after != before {
+		t.Errorf("failed query recorded observations: %d -> %d", before, after)
+	}
+}
+
+// TestClassifyBody spot-checks the query classifier across islands.
+func TestClassifyBody(t *testing.T) {
+	for _, tc := range []struct {
+		island Island
+		body   string
+		want   monitor.QueryClass
+	}{
+		{IslandRelational, "SELECT name FROM patients WHERE id = 1", monitor.ClassLookup},
+		{IslandRelational, "SELECT AVG(age) FROM patients GROUP BY ward", monitor.ClassSQLAnalytics},
+		{IslandPostgres, "SELECT a FROM t JOIN u ON a = b", monitor.ClassSQLAnalytics},
+		{IslandArray, "filter(wf, v > 0)", monitor.ClassLookup},
+		{IslandArray, "aggregate(wf, avg(v))", monitor.ClassSQLAnalytics},
+		{IslandArray, "multiply(a, b)", monitor.ClassLinearAlgebra},
+		{IslandSciDB, "regrid(wf, 4, avg(v))", monitor.ClassLinearAlgebra},
+		{IslandAccumulo, "search(notes, 'sick', 2)", monitor.ClassTextSearch},
+		{IslandAccumulo, "get(notes, 'r1')", monitor.ClassLookup},
+		{IslandSStore, "window(vitals)", monitor.ClassStreaming},
+		{IslandD4M, "bfs(edges, 'a', 5)", monitor.ClassLinearAlgebra},
+	} {
+		if got := classifyBody(tc.island, tc.body); got != tc.want {
+			t.Errorf("classify %s(%s) = %v, want %v", tc.island, tc.body, got, tc.want)
+		}
+	}
+}
+
+// TestObsDisabledZeroAlloc pins the alloc budget of the instrumentation
+// a production (untraced) call pays: span sites allocate nothing and
+// the metrics hot path is a handful of atomics. CI runs this; a future
+// edit that makes the disabled path allocate fails here, not in a
+// profile three PRs later.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	p := demoStore(t)
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(200, func() {
+		sctx, sp := trace.Start(ctx, "x")
+		sp.SetInt("k", 1)
+		sp.SetStr("s", "v")
+		child := trace.FromContext(sctx).StartChild("y")
+		child.End()
+		sp.End()
+		p.om.queryLatency.Observe(time.Microsecond)
+		p.om.queryErrors.Inc()
+		if c := p.om.queryCount[IslandRelational]; c != nil {
+			c.Inc()
+		}
+	}); n != 0 {
+		t.Fatalf("disabled observability allocates %v per op, want 0", n)
+	}
+}
+
+// TestRetryStatsRaceClean hammers RetryStats/CastStats readers against
+// concurrent casting writers — meaningful under -race.
+func TestRetryStatsRaceClean(t *testing.T) {
+	p := demoStore(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			func() {
+				res, err := p.Cast("patients", EngineSciDB, CastOptions{})
+				if err != nil {
+					return
+				}
+				defer p.dropTempObjects([]string{res.Target})
+			}()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = p.RetryStats()
+		pushed, full := p.CastStats()
+		_ = pushed + full
+		_ = p.Metrics.Snapshot()
+	}
+	<-done
+}

@@ -512,7 +512,7 @@ func (p *Polystore) planArray(ctx context.Context, body string) (string, []strin
 			if serr := sleepCtx(ctx, p.retryPolicy().backoff(0)); serr != nil {
 				return body, temps, serr
 			}
-			p.castRetries.Add(1)
+			p.om.castRetries.Inc()
 			if _, err2 := p.CastCtx(ctx, src, target, CastOptions{TargetName: ph}); err2 != nil {
 				return body, temps, err2
 			}

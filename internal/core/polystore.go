@@ -19,11 +19,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/array"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kvstore"
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/relational"
 	"repro/internal/stream"
@@ -51,6 +52,7 @@ type ObjectInfo struct {
 }
 
 // Polystore is the federation: engines, catalog, monitor and islands.
+// Build one with New — the metrics plumbing is wired there.
 type Polystore struct {
 	Relational *relational.DB
 	ArrayStore *array.Store
@@ -58,45 +60,112 @@ type Polystore struct {
 	Streams    *stream.Engine
 	Monitor    *monitor.Monitor
 
+	// Metrics is the polystore's registry: every counter and histogram
+	// the execution path populates, plus pull gauges over the engines'
+	// own stats. Export it with Metrics.PublishExpvar.
+	Metrics *metrics.Registry
+
+	// om holds pre-created handles into Metrics for the hot path, so
+	// instrumentation sites never pay a map lookup or a name build.
+	om polyMetrics
+
 	mu       sync.RWMutex
 	catalog  map[string]ObjectInfo
 	tile     map[string]*tiledb.Array
 	tempSeq  int
 	pushdown bool
 	retry    RetryPolicy
+}
 
-	// castRetries counts retry attempts spent across all CASTs — both
-	// the transient-fault retry loop and the planner's zero-match
-	// fallback recast.
-	castRetries atomic.Int64
+// polyMetrics is the set of pre-resolved metric handles the execution
+// path updates. All underlying values are atomics in the registry —
+// RetryStats/CastStats and concurrent queries read and write them
+// race-free.
+type polyMetrics struct {
+	queryLatency *metrics.Histogram
+	queryErrors  *metrics.Counter
+	queryCount   map[Island]*metrics.Counter
+	classCount   map[monitor.QueryClass]*metrics.Counter
 
-	// CAST accounting: migrations where a source-side predicate or
-	// projection actually applied vs full-object migrations (a requested
-	// pushdown that fell back counts as full). Tests assert the planner
-	// actually engages; CastStats exposes the split.
-	castsPushed atomic.Int64
-	castsFull   atomic.Int64
+	castLatency     *metrics.Histogram
+	castCount       *metrics.Counter
+	castErrors      *metrics.Counter
+	castRetries     *metrics.Counter
+	castRollbacks   *metrics.Counter
+	castBytes       *metrics.Counter
+	castRowsScanned *metrics.Counter
+	castRowsMoved   *metrics.Counter
+	castPushed      *metrics.Counter
+	castFull        *metrics.Counter
+}
+
+func newPolyMetrics(r *metrics.Registry) polyMetrics {
+	om := polyMetrics{
+		queryLatency: r.Histogram("query.latency"),
+		queryErrors:  r.Counter("query.errors"),
+		queryCount:   map[Island]*metrics.Counter{},
+		classCount:   map[monitor.QueryClass]*metrics.Counter{},
+
+		castLatency:     r.Histogram("cast.latency"),
+		castCount:       r.Counter("cast.count"),
+		castErrors:      r.Counter("cast.errors"),
+		castRetries:     r.Counter("cast.retries"),
+		castRollbacks:   r.Counter("cast.rollbacks"),
+		castBytes:       r.Counter("cast.wire_bytes"),
+		castRowsScanned: r.Counter("cast.rows_scanned"),
+		castRowsMoved:   r.Counter("cast.rows_moved"),
+		castPushed:      r.Counter("cast.pushed"),
+		castFull:        r.Counter("cast.full"),
+	}
+	for _, isl := range []Island{IslandRelational, IslandArray, IslandD4M, IslandMyria,
+		IslandPostgres, IslandSciDB, IslandAccumulo, IslandSStore} {
+		om.queryCount[isl] = r.Counter("query.count." + strings.ToLower(string(isl)))
+	}
+	for _, qc := range []monitor.QueryClass{monitor.ClassLookup, monitor.ClassSQLAnalytics,
+		monitor.ClassLinearAlgebra, monitor.ClassTextSearch, monitor.ClassStreaming} {
+		om.classCount[qc] = r.Counter("query.class." + string(qc))
+	}
+	return om
 }
 
 // CastStats reports how many CASTs actually ran with pushdown (a
 // source-side predicate or projection applied before the wire) versus
-// migrating the whole object.
+// migrating the whole object. Backed by registry counters, so reads are
+// race-clean under concurrent queries.
 func (p *Polystore) CastStats() (pushed, full int64) {
-	return p.castsPushed.Load(), p.castsFull.Load()
+	return p.om.castPushed.Load(), p.om.castFull.Load()
 }
 
 // New assembles a polystore with fresh engines.
 func New() *Polystore {
-	return &Polystore{
+	reg := metrics.NewRegistry()
+	p := &Polystore{
 		Relational: relational.NewDB(),
 		ArrayStore: array.NewStore(),
 		KV:         kvstore.NewStore(),
 		Streams:    stream.NewEngine(),
 		Monitor:    monitor.New(),
+		Metrics:    reg,
+		om:         newPolyMetrics(reg),
 		catalog:    map[string]ObjectInfo{},
 		tile:       map[string]*tiledb.Array{},
 		pushdown:   true,
 	}
+	// Pull gauges: the engines keep their own atomic stats; the registry
+	// reads them at snapshot time.
+	reg.GaugeFunc("engine.postgres.queries", func() int64 { return p.Relational.Stats().Queries })
+	reg.GaugeFunc("engine.postgres.rows_scanned", func() int64 { return p.Relational.Stats().RowsScanned })
+	reg.GaugeFunc("fault.hits", func() int64 {
+		var n int64
+		for _, fp := range CastFailpoints() {
+			n += int64(fault.Fired(fp))
+		}
+		for _, fp := range CastWriteFailpoints() {
+			n += int64(fault.Fired(fp))
+		}
+		return n
+	})
+	return p
 }
 
 // SetPushdown toggles the cross-island CAST pushdown planner (on by
@@ -133,8 +202,10 @@ func (p *Polystore) retryPolicy() RetryPolicy {
 }
 
 // RetryStats reports how many retry attempts CASTs have spent since
-// the polystore was assembled.
-func (p *Polystore) RetryStats() int64 { return p.castRetries.Load() }
+// the polystore was assembled — both the transient-fault retry loop and
+// the planner's zero-match fallback recast. Backed by a registry
+// counter, so reads are race-clean under concurrent queries.
+func (p *Polystore) RetryStats() int64 { return p.om.castRetries.Load() }
 
 // Register adds a catalog entry for an object already present in its
 // home engine.

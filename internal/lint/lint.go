@@ -11,6 +11,7 @@ import (
 	"repro/internal/lint/decodebounds"
 	"repro/internal/lint/errdrop"
 	"repro/internal/lint/lockheld"
+	"repro/internal/lint/spanend"
 	"repro/internal/lint/templeak"
 )
 
@@ -21,6 +22,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		lockheld.Analyzer,
 		templeak.Analyzer,
+		spanend.Analyzer,
 		decodebounds.Analyzer,
 		batchalias.Analyzer,
 		errdrop.Analyzer,

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanend.Analyzer, "spanend")
+}

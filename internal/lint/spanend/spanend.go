@@ -1,0 +1,393 @@
+// Package spanend enforces the trace-span lifecycle: every span opened
+// by trace.Start, trace.New, or (*trace.Span).StartChild must be ended
+// on every path out of the function that opened it. An unended span
+// stays open in the trace forever — Trace.OpenSpans never reaches zero,
+// EXPLAIN ANALYZE renders the stage as "(open)", and the cancellation
+// tests that pin "no orphan spans" go flaky instead of failing the
+// culprit.
+//
+// A span is considered handled when one of these holds:
+//
+//  1. Its End is deferred — `defer sp.End()` or inside a deferred
+//     closure. Always safe.
+//  2. It escapes the function: returned, passed to another call
+//     (ownership transfer, the finishCast shape), assigned to a
+//     non-blank location, or sent on a channel.
+//  3. A plain sp.End() call dominates the function exit, approximated
+//     lexically: the End statement lives in the span's own block or an
+//     ancestor of it, no return statement sits between the two, and no
+//     loop or function literal intervenes (a span opened per-iteration
+//     must be ended per-iteration).
+//
+// Discarding the span — `ctx, _ := trace.Start(...)` or an
+// expression-statement StartChild — is flagged outright: a span nobody
+// holds can never be ended. Tests that deliberately leave a span open
+// (e.g. rendering the "(open)" marker) suppress with
+// //lint:ignore spanend <reason>.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the spanend analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "flags trace spans that are not ended on every path out of their function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Each function literal is its own scope: a span opened in a
+			// goroutine closure must be ended in (or escape) that closure.
+			checkScope(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkScope(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// tracked is one span-typed local opened in the scope under analysis.
+type tracked struct {
+	obj      types.Object
+	declStmt ast.Node     // the assignment that opened the span
+	declPath []ast.Node   // ancestor chain of declStmt, outermost first
+	kind     string       // "trace.Start", "trace.New", "StartChild"
+	handled  bool         // deferred End, or escaped
+	ends     [][]ast.Node // ancestor chains of non-deferred End statements
+}
+
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	vars := map[types.Object]*tracked{}
+
+	// Pass 1: creation sites. Nested function literals are pruned — they
+	// are scopes of their own.
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, idx := creationKind(info, call, len(n.Lhs))
+			if kind == "" {
+				return true
+			}
+			id, ok := n.Lhs[idx].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(n.Pos(),
+					"the span opened by %s is discarded: it can never be ended and stays open in the trace", kind)
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			vars[obj] = &tracked{
+				obj: obj, declStmt: n, kind: kind,
+				declPath: append(append([]ast.Node(nil), stack...), n),
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if kind, _ := creationKind(info, call, 0); kind != "" {
+					pass.Reportf(n.Pos(),
+						"the span opened by %s is discarded: it can never be ended and stays open in the trace", kind)
+				}
+			}
+		}
+		return true
+	})
+
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: End calls and escapes, across the whole scope including
+	// nested literals (a deferred closure may carry the End).
+	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if t := endReceiver(info, n, vars); t != nil {
+				if isDeferred(stack) {
+					t.handled = true
+				} else {
+					t.ends = append(t.ends, append(append([]ast.Node(nil), stack...), n))
+				}
+				return true
+			}
+			for _, arg := range n.Args {
+				markMentioned(info, arg, vars)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				markMentioned(info, res, vars)
+			}
+		case *ast.SendStmt:
+			markMentioned(info, n.Value, vars)
+		case *ast.AssignStmt:
+			// Aliasing or storing the span transfers ownership; assigning
+			// it to the blank identifier does not.
+			allBlank := true
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if !allBlank {
+				for _, rhs := range n.Rhs {
+					if _, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+						continue // creation site, or args already handled
+					}
+					markMentioned(info, rhs, vars)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, t := range vars {
+		if t.handled {
+			continue
+		}
+		ok := false
+		for _, end := range t.ends {
+			if endDominates(t, end) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(t.declStmt.Pos(),
+				"span %s opened by %s is not ended on every path out of this function (defer %s.End(), or End it before every return)",
+				t.obj.Name(), t.kind, t.obj.Name())
+		}
+	}
+}
+
+// creationKind classifies a call that opens a span and returns which
+// result index holds it: trace.Start / trace.New return (ctx, span),
+// (*Span).StartChild returns the span alone. nlhs is the number of
+// assignment targets (0 for an expression statement, where any span
+// result is discarded).
+func creationKind(info *types.Info, call *ast.CallExpr, nlhs int) (string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Start", "New":
+		if x, ok := sel.X.(*ast.Ident); ok && isTracePkg(info, x) {
+			if nlhs == 0 || nlhs == 2 {
+				return "trace." + sel.Sel.Name, 1
+			}
+		}
+	case "StartChild":
+		if tv, ok := info.Types[sel.X]; ok && analysis.NamedTypeName(tv.Type) == "Span" {
+			if nlhs == 0 || nlhs == 1 {
+				return "StartChild", 0
+			}
+		}
+	}
+	return "", 0
+}
+
+func isTracePkg(info *types.Info, id *ast.Ident) bool {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name() == "trace"
+	}
+	return id.Name == "trace"
+}
+
+// endReceiver returns the tracked span a call ends, or nil: the call
+// must be <span>.End() on a tracked identifier.
+func endReceiver(info *types.Info, call *ast.CallExpr, vars map[types.Object]*tracked) *tracked {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	id := analysis.RootIdent(sel.X)
+	if id == nil {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return vars[obj]
+}
+
+// markMentioned marks every tracked span mentioned in e as handled
+// (escaped: some other code now owns ending it).
+func markMentioned(info *types.Info, e ast.Expr, vars map[types.Object]*tracked) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				if t, ok := vars[obj]; ok {
+					t.handled = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// endDominates approximates "this End runs before every exit": the End
+// statement's innermost block must be the span's own block or an
+// ancestor of it, reached without crossing a loop or function literal,
+// and no return statement may sit between the opening assignment and
+// the End within that block.
+func endDominates(t *tracked, endPath []ast.Node) bool {
+	endBlock, endStmt := innermostBlock(endPath)
+	if endBlock == nil {
+		return false
+	}
+	// Locate endBlock in the span's ancestor chain.
+	j := -1
+	for i, n := range t.declPath {
+		if n == endBlock {
+			j = i
+			break
+		}
+	}
+	if j < 0 {
+		return false
+	}
+	// The statement of endBlock that leads to the span's declaration.
+	var declStmt ast.Stmt
+	if j+1 < len(t.declPath) {
+		declStmt, _ = t.declPath[j+1].(ast.Stmt)
+	}
+	if declStmt == nil {
+		return false
+	}
+	// No loop or function literal between the End's block and the span:
+	// a per-iteration or per-closure span must be ended at its own depth.
+	for _, n := range t.declPath[j+1:] {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		}
+	}
+	list := stmtList(endBlock)
+	iS, iE := -1, -1
+	for i, s := range list {
+		if s == declStmt {
+			iS = i
+		}
+		if s == endStmt {
+			iE = i
+		}
+	}
+	if iS < 0 || iE < 0 || iE <= iS {
+		return false
+	}
+	// A return between the opening and the End exits with the span open.
+	for _, s := range list[iS+1 : iE] {
+		if containsReturn(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtList returns the statement list a container node holds. Blocks,
+// switch cases and select clauses all count — a span opened and ended
+// inside one case body is as straight-line as inside a block.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// innermostBlock returns the deepest statement-list container on the
+// path and the statement within it that the path descends through.
+func innermostBlock(path []ast.Node) (ast.Node, ast.Stmt) {
+	for i := len(path) - 1; i >= 0; i-- {
+		if stmtList(path[i]) == nil {
+			continue
+		}
+		if i+1 < len(path) {
+			if s, ok := path[i+1].(ast.Stmt); ok {
+				return path[i], s
+			}
+		}
+		return path[i], nil
+	}
+	return nil, nil
+}
+
+// containsReturn reports whether the statement contains a return at
+// this function's level (function literals are their own functions).
+func containsReturn(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isDeferred reports whether the innermost enclosing statement chain
+// defers the call: `defer sp.End()` directly, or an End inside a
+// closure that is itself the operand of a defer.
+func isDeferred(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			// The literal's ancestors are the deferred CallExpr and then
+			// the DeferStmt itself: defer func(){ ... }().
+			for _, up := range []int{i - 1, i - 2} {
+				if up < 0 {
+					break
+				}
+				if d, ok := stack[up].(*ast.DeferStmt); ok {
+					if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok && fl == n {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	return false
+}

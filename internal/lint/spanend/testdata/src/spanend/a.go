@@ -1,0 +1,159 @@
+// Fixtures for the spanend analyzer, shaped after the real
+// instrumentation sites in internal/core: deferred root spans,
+// straight-line stage spans, per-attempt loop spans, encoder goroutine
+// spans, and ownership transfers into a finishing helper.
+package spanend
+
+import "trace"
+
+func work()                 {}
+func cond() bool            { return true }
+func finish(sp *trace.Span) {}
+
+// The QueryCtx root shape: open, defer End.
+func okDeferredEnd(ctx trace.Ctx) {
+	ctx, sp := trace.Start(ctx, "query")
+	defer sp.End()
+	_ = ctx
+	work()
+}
+
+// The parse/plan stage shape: open, run the stage, End, then branch.
+func okStraightLineEnd(ctx trace.Ctx, fail bool) bool {
+	_, sp := trace.Start(ctx, "parse")
+	work()
+	sp.End()
+	if fail {
+		return false
+	}
+	return true
+}
+
+// The attempt shape: annotations may be conditional, the End is not.
+func okAnnotatedThenEnded(ctx trace.Ctx, failed bool) {
+	_, sp := trace.Start(ctx, "attempt")
+	if failed {
+		sp.SetStr("error", "boom")
+	}
+	sp.End()
+}
+
+// The benchmark shape: opened conditionally, ended in the outer block.
+func okEndInAncestorBlock(ctx trace.Ctx, traced bool) {
+	var sp *trace.Span
+	if traced {
+		ctx, sp = trace.New(ctx, "bench")
+	}
+	work()
+	sp.End()
+	_ = ctx
+}
+
+// A deferred closure carrying the End is as good as a direct defer.
+func okDeferredClosureEnd(ctx trace.Ctx) {
+	_, sp := trace.Start(ctx, "cast")
+	defer func() { sp.End() }()
+	work()
+}
+
+// The encoder-goroutine shape: the closure is its own scope and ends
+// its span before signalling.
+func okGoroutineChild(parent *trace.Span, done chan bool) {
+	go func() {
+		enc := parent.StartChild("encode")
+		work()
+		enc.End()
+		done <- true
+	}()
+}
+
+// Returning the span hands the caller the obligation to End it.
+func okEscapesReturn(parent *trace.Span) *trace.Span {
+	sp := parent.StartChild("child")
+	return sp
+}
+
+// Passing the span to another call transfers ownership — the
+// finishCast shape.
+func okEscapesIntoCall(ctx trace.Ctx) {
+	_, sp := trace.Start(ctx, "cast")
+	work()
+	finish(sp)
+}
+
+// The transport-switch shape: a span opened and ended inside one
+// switch case body is as straight-line as inside a block.
+func okEndInSwitchCase(ctx trace.Ctx, mode int) bool {
+	switch mode {
+	case 0:
+		_, sp := trace.Start(ctx, "wire")
+		work()
+		sp.End()
+		return true
+	default:
+		return false
+	}
+}
+
+// Discarding the span is unconditionally wrong: nobody can End it.
+func badBlankSpan(ctx trace.Ctx) trace.Ctx {
+	ctx2, _ := trace.Start(ctx, "query") // want `span opened by trace.Start is discarded`
+	return ctx2
+}
+
+func badDiscardedChild(parent *trace.Span) {
+	parent.StartChild("leaked") // want `span opened by StartChild is discarded`
+}
+
+// No End anywhere.
+func badNeverEnded(ctx trace.Ctx) {
+	_, sp := trace.Start(ctx, "query") // want `span sp opened by trace.Start is not ended on every path`
+	_ = sp
+	work()
+}
+
+// End only on one branch: the other exit leaves the span open.
+func badConditionalEnd(ctx trace.Ctx) {
+	_, sp := trace.Start(ctx, "plan") // want `span sp opened by trace.Start is not ended on every path`
+	work()
+	if cond() {
+		sp.End()
+	}
+}
+
+// The orphan-span bug class this analyzer exists for: an early return
+// between the open and the End.
+func badEarlyReturnBetween(ctx trace.Ctx, fail bool) bool {
+	_, sp := trace.Start(ctx, "parse") // want `span sp opened by trace.Start is not ended on every path`
+	if fail {
+		return false
+	}
+	sp.End()
+	return true
+}
+
+// A span opened per-iteration must be ended per-iteration: one End
+// after the loop closes only the last span.
+func badLoopEndOutside(ctx trace.Ctx) {
+	var sp *trace.Span
+	for i := 0; i < 3; i++ {
+		_, sp = trace.Start(ctx, "attempt") // want `span sp opened by trace.Start is not ended on every path`
+	}
+	sp.End()
+}
+
+// An End captured by a non-deferred goroutine closure gives no ordering
+// guarantee: the function can return (and the trace render) first.
+func badEndInGoroutine(ctx trace.Ctx, done chan bool) {
+	_, sp := trace.Start(ctx, "wire") // want `span sp opened by trace.Start is not ended on every path`
+	go func() {
+		sp.End()
+		done <- true
+	}()
+}
+
+// Deliberately open spans (the render test's "(open)" marker) suppress.
+func okSuppressedOpenSpan(parent *trace.Span) {
+	//lint:ignore spanend render test needs a deliberately open span
+	parent.StartChild("open")
+}

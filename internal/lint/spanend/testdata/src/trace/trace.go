@@ -1,0 +1,33 @@
+// Package trace is a fixture-local stand-in for the polystore's
+// internal/trace package: same names and result shapes, no stdlib
+// imports (the analysistest harness resolves imports only under
+// testdata/src). The analyzer matches on the package name "trace", the
+// Span type name, and the Start/New/StartChild/End method names.
+package trace
+
+// Ctx stands in for context.Context.
+type Ctx struct{}
+
+// Span is the fixture span.
+type Span struct{}
+
+// New opens a root span.
+func New(ctx Ctx, name string) (Ctx, *Span) { return ctx, &Span{} }
+
+// Start opens a child span on the context.
+func Start(ctx Ctx, name string) (Ctx, *Span) { return ctx, &Span{} }
+
+// FromContext returns the context's span.
+func FromContext(ctx Ctx) *Span { return &Span{} }
+
+// StartChild opens a child span directly.
+func (s *Span) StartChild(name string) *Span { return &Span{} }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetInt annotates the span.
+func (s *Span) SetInt(key string, v int64) {}
+
+// SetStr annotates the span.
+func (s *Span) SetStr(key, v string) {}

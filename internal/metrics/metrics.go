@@ -1,0 +1,343 @@
+// Package metrics implements the polystore's metrics registry: atomic
+// counters, gauges and fixed-bucket latency histograms with p50/p95/p99
+// estimation, collected by name in a Registry and exportable via
+// expvar. The polystore populates it from the same instrumentation
+// sites the trace spans cover — queries by island and class, cast wire
+// bytes, rows scanned vs moved, retries, rollbacks — so dashboards and
+// tests read one coherent surface.
+//
+// Everything on the hot path is lock-free: Counter.Add and
+// Histogram.Observe are single atomic operations, and the Registry's
+// lock is only taken to mint a metric or snapshot the whole set.
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (useful for in-flight counts).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of exponential latency buckets. Bucket i
+// holds observations in (2^(i-1)µs, 2^i µs]; bucket 0 holds ≤ 1µs and
+// the last bucket is open-ended (≈ 2.2 minutes and beyond).
+const histBuckets = 28
+
+// Histogram is a fixed-bucket latency histogram. Buckets are powers of
+// two in microseconds, so Observe is a bit-scan plus one atomic add —
+// no locks, no allocation — and quantiles interpolate within the
+// matched bucket.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketFor maps a duration to its bucket index.
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us - 1)) // ceil(log2(us))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the average observed duration (0 with no samples).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by locating the bucket
+// holding the target rank and interpolating linearly inside it. With no
+// samples it returns 0. The estimate's error is bounded by the bucket
+// width — a factor of two — which is plenty for p50/p99 dashboards.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	// Snapshot the buckets; samples may land concurrently.
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		frac := float64(rank-cum) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}
+
+// P50, P95 and P99 are the dashboard quantiles.
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P95 estimates the 95th percentile.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
+// P99 estimates the 99th percentile.
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// bucketBounds returns the (lo, hi] duration bounds of bucket i.
+func bucketBounds(i int) (time.Duration, time.Duration) {
+	if i == 0 {
+		return 0, time.Microsecond
+	}
+	lo := time.Duration(1<<(i-1)) * time.Microsecond
+	hi := time.Duration(1<<i) * time.Microsecond
+	return lo, hi
+}
+
+// Registry collects named metrics. Names are dot-separated
+// ("query.relational.latency", "cast.wire_bytes"); get-or-create
+// accessors make registration implicit and idempotent.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	gaugeFns map[string]func() int64
+
+	publish sync.Once
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		gaugeFns: map[string]func() int64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// GaugeFunc registers a pull gauge: fn is evaluated at snapshot time.
+// Engine stats (queries served, rows scanned) export this way — the
+// engines keep their own atomic counters and the registry reads them.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported view of one histogram.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func ms(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+}
+
+// Snapshot returns a point-in-time view of every metric: counters and
+// gauges as int64, histograms as HistogramSnapshot. Safe under
+// concurrent updates (values are read atomically, the metric set under
+// the registry lock).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.gaugeFns))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
+	}
+	for name, fn := range r.gaugeFns {
+		out[name] = fn()
+	}
+	for name, h := range r.hists {
+		out[name] = HistogramSnapshot{
+			Count:  h.Count(),
+			MeanMs: ms(h.Mean()),
+			P50Ms:  ms(h.P50()),
+			P95Ms:  ms(h.P95()),
+			P99Ms:  ms(h.P99()),
+		}
+	}
+	return out
+}
+
+// Names lists every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the snapshot as deterministic JSON (sorted keys) —
+// the expvar representation.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb []byte
+	sb = append(sb, '{')
+	for i, n := range names {
+		if i > 0 {
+			sb = append(sb, ',', ' ')
+		}
+		kb, _ := json.Marshal(n)
+		vb, err := json.Marshal(snap[n])
+		if err != nil {
+			vb = []byte(fmt.Sprintf("%q", fmt.Sprint(snap[n])))
+		}
+		sb = append(sb, kb...)
+		sb = append(sb, ':', ' ')
+		sb = append(sb, vb...)
+	}
+	sb = append(sb, '}')
+	return string(sb)
+}
+
+// PublishExpvar exposes the registry under the given expvar name
+// (/debug/vars once an HTTP server mounts expvar's handler).
+// Idempotent per registry; if another variable already claimed the
+// name, it is left in place and an error is returned instead of the
+// panic expvar.Publish would raise.
+func (r *Registry) PublishExpvar(name string) error {
+	var err error
+	r.publish.Do(func() {
+		if expvar.Get(name) != nil {
+			err = fmt.Errorf("metrics: expvar %q already published", name)
+			return
+		}
+		expvar.Publish(name, r)
+	})
+	return err
+}

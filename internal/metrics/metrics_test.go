@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cast.retries")
+	c.Inc()
+	c.Add(2)
+	if got := r.Counter("cast.retries").Load(); got != 3 {
+		t.Fatalf("counter = %d, want 3 (get-or-create must return the same counter)", got)
+	}
+	g := r.Gauge("queries.inflight")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	r.GaugeFunc("engine.rows", func() int64 { return 42 })
+	if got := r.Snapshot()["engine.rows"]; got != int64(42) {
+		t.Fatalf("gauge func snapshot = %v, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Microsecond, 0},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 10},
+		{24 * time.Hour, histBuckets - 1},
+	} {
+		if got := bucketFor(tc.d); got != tc.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantiles checks the quantile estimate against a known
+// distribution: the error bound is one bucket (a factor of two).
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast samples at ~100µs, 10 slow at ~10ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.P50(); p50 < 32*time.Microsecond || p50 > 256*time.Microsecond {
+		t.Errorf("p50 = %v, want ~100µs (within one bucket)", p50)
+	}
+	if p99 := h.P99(); p99 < 4*time.Millisecond || p99 > 32*time.Millisecond {
+		t.Errorf("p99 = %v, want ~10ms (within one bucket)", p99)
+	}
+	if mean := h.Mean(); mean < 500*time.Microsecond || mean > 2*time.Millisecond {
+		t.Errorf("mean = %v, want ~1.09ms", mean)
+	}
+	if h.Quantile(0) == 0 && h.Count() > 0 {
+		// q=0 clamps to the first sample's bucket, not zero
+		t.Log("q=0 returned 0") // informational; bucket 0 lower bound is 0
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.P50() != 0 || h.P99() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram quantiles must be 0")
+	}
+}
+
+// TestConcurrentObserve hammers one histogram and counter from many
+// goroutines (meaningful under -race, which CI runs).
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+				c.Inc()
+				_ = r.Snapshot() // concurrent reads must be clean too
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Load() != 8000 {
+		t.Fatalf("count = %d / %d, want 8000", h.Count(), c.Load())
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(7)
+	r.Histogram("a.latency").Observe(3 * time.Millisecond)
+	s := r.String()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
+		t.Fatalf("String() is not valid JSON: %v\n%s", err, s)
+	}
+	if !strings.Contains(s, `"a.count": 7`) {
+		t.Errorf("snapshot missing counter: %s", s)
+	}
+	for _, want := range []string{"p50_ms", "p95_ms", "p99_ms", "count"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("histogram snapshot missing %s: %s", want, s)
+		}
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "a.count" || names[1] != "a.latency" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	if err := r.PublishExpvar("metrics_test_registry"); err != nil {
+		t.Fatalf("first publish: %v", err)
+	}
+	// Idempotent: a second call on the same registry is a no-op.
+	if err := r.PublishExpvar("metrics_test_registry"); err != nil {
+		t.Fatalf("second publish errored: %v", err)
+	}
+	v := expvar.Get("metrics_test_registry")
+	if v == nil {
+		t.Fatal("registry not visible via expvar")
+	}
+	if !strings.Contains(v.String(), `"x": 1`) {
+		t.Fatalf("expvar view = %s", v.String())
+	}
+	// A different registry colliding on the name errors instead of
+	// panicking.
+	if err := NewRegistry().PublishExpvar("metrics_test_registry"); err == nil {
+		t.Fatal("name collision did not error")
+	}
+}

@@ -112,6 +112,81 @@ func TestAdviseNoObservations(t *testing.T) {
 	}
 }
 
+// fakeClock is an advanceable clock for staleness tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func withFakeClock(m *Monitor) *fakeClock    { c := newFakeClock(); m.SetClock(c.now); return c }
+func record(m *Monitor, e string, ms float64) {
+	m.Record("wf", ClassLinearAlgebra, e, time.Duration(ms*1e6))
+}
+
+// TestBestEngineAgesOut is the staleness regression: an engine that
+// stops serving a class must stop dominating placement advice. Before
+// MaxAge, its EWMA entry lived forever — a long-dead 1ms probe would
+// outrank every live engine indefinitely.
+func TestBestEngineAgesOut(t *testing.T) {
+	m := New()
+	clk := withFakeClock(m)
+	record(m, "scidb", 1) // fast, but about to go stale
+	clk.advance(2 * time.Hour)
+	record(m, "postgres", 20) // slow, but live
+	eng, _, ok := m.BestEngine("wf", ClassLinearAlgebra)
+	if !ok || eng != "postgres" {
+		t.Fatalf("stale engine still wins: %q ok=%v", eng, ok)
+	}
+	// A fresh observation brings the fast engine back.
+	record(m, "scidb", 1)
+	eng, _, _ = m.BestEngine("wf", ClassLinearAlgebra)
+	if eng != "scidb" {
+		t.Fatalf("refreshed engine not restored: %q", eng)
+	}
+}
+
+// TestBestEngineAllStale proves a fully stale class reports no engine
+// at all rather than advising from ancient data.
+func TestBestEngineAllStale(t *testing.T) {
+	m := New()
+	clk := withFakeClock(m)
+	record(m, "scidb", 1)
+	clk.advance(3 * time.Hour)
+	if eng, _, ok := m.BestEngine("wf", ClassLinearAlgebra); ok {
+		t.Fatalf("all-stale class still advised %q", eng)
+	}
+}
+
+// TestDominantClassDecays: a historical pile of SQL accesses must not
+// outweigh the current linear-algebra workload forever.
+func TestDominantClassDecays(t *testing.T) {
+	m := New()
+	clk := withFakeClock(m)
+	for i := 0; i < 100; i++ {
+		m.Record("wf", ClassSQLAnalytics, "postgres", time.Millisecond)
+	}
+	clk.advance(3 * time.Hour) // 12 half-lives: 100 → ~0.02
+	for i := 0; i < 3; i++ {
+		m.Record("wf", ClassLinearAlgebra, "scidb", time.Millisecond)
+	}
+	class, ok := m.DominantClass("wf")
+	if !ok || class != ClassLinearAlgebra {
+		t.Fatalf("dominant class stuck on history: %v ok=%v", class, ok)
+	}
+}
+
+func TestTotalObservations(t *testing.T) {
+	m := New()
+	if m.TotalObservations() != 0 {
+		t.Fatal("fresh monitor has observations")
+	}
+	m.Record("a", ClassLookup, "postgres", time.Millisecond)
+	m.Record("b", ClassLookup, "postgres", time.Millisecond)
+	if got := m.TotalObservations(); got != 2 {
+		t.Fatalf("total = %d, want 2", got)
+	}
+}
+
 func TestAdviseWorkloadShift(t *testing.T) {
 	// The paper's scenario: workload shifts from SQL to linear algebra
 	// and the advice flips.

@@ -1,0 +1,336 @@
+// Package trace implements query tracing for the polystore: a tree of
+// timed spans — parse, plan, per-cast migrate (with encode/wire/decode
+// sub-spans), engine execute, retry attempts, staged commit and
+// rollback — carried on the context.Context that already runs through
+// QueryCtx/CastCtx/MigrateCtx/LoadCtx.
+//
+// Tracing is opt-in per call: a context holds a span only after
+// trace.New, so production queries that never ask for a trace pay one
+// context.Value lookup per instrumentation site and nothing else. The
+// disabled path allocates nothing — Start returns the context unchanged
+// and a nil *Span, and every Span method is nil-safe — which is pinned
+// by TestTracingDisabledZeroAlloc and the --obs benchmark pair, the
+// same proof shape as the disarmed-failpoint benchmarks.
+//
+// Enabled, the span tree renders as an EXPLAIN ANALYZE-style report
+// (Render) and its open-span accounting (Trace.OpenSpans) lets tests
+// assert that cancellation closes every span — no orphans.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"context"
+)
+
+// spanKey carries the current *Span on a context.
+type spanKey struct{}
+
+// Trace owns one span tree and its bookkeeping. All mutation goes
+// through its mutex: spans may be opened and ended from the transport
+// goroutines a cast spawns, concurrently with the query goroutine.
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+	open int
+}
+
+// Span is one timed region of a traced query. The zero value is never
+// used; a nil *Span is the disabled trace and every method no-ops on
+// it.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key=value annotation on a span (wire bytes, row counts,
+// pushdown decisions). Values are int64 or string; IsInt selects.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// New enables tracing on ctx: it creates a Trace with a root span and
+// returns the derived context plus the root. The caller ends the root
+// (usually after the traced call returns) and renders or inspects the
+// tree.
+func New(ctx context.Context, name string) (context.Context, *Span) {
+	tr := &Trace{}
+	root := &Span{tr: tr, name: name, start: time.Now()}
+	tr.root = root
+	tr.open = 1
+	return context.WithValue(ctx, spanKey{}, root), root
+}
+
+// FromContext returns the context's current span, or nil when the
+// context is untraced.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Enabled reports whether ctx carries a trace.
+func Enabled(ctx context.Context) bool { return FromContext(ctx) != nil }
+
+// Start opens a child span of the context's current span and returns a
+// derived context carrying it. On an untraced context it returns ctx
+// unchanged and a nil span — no allocation, no bookkeeping.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.StartChild(name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// StartChild opens a child span directly under sp — the form the cast
+// transport goroutines use, where a derived context would be
+// inconvenient. Nil-safe: a nil receiver returns nil.
+func (sp *Span) StartChild(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	child := &Span{tr: sp.tr, name: name, start: time.Now()}
+	sp.tr.mu.Lock()
+	sp.children = append(sp.children, child)
+	sp.tr.open++
+	sp.tr.mu.Unlock()
+	return child
+}
+
+// End closes the span, fixing its duration. Idempotent and nil-safe.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	if !sp.ended {
+		sp.ended = true
+		sp.dur = time.Since(sp.start)
+		sp.tr.open--
+	}
+	sp.tr.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer attribute. Nil-safe.
+func (sp *Span) SetInt(key string, v int64) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Int: v, IsInt: true})
+	sp.tr.mu.Unlock()
+}
+
+// SetStr annotates the span with a string attribute. Nil-safe.
+func (sp *Span) SetStr(key, v string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	sp.attrs = append(sp.attrs, Attr{Key: key, Str: v})
+	sp.tr.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (sp *Span) Name() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.name
+}
+
+// Duration returns the span's duration (zero until ended; the live
+// elapsed time is not exposed to keep reads race-free).
+func (sp *Span) Duration() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	return sp.dur
+}
+
+// Attrs returns a copy of the span's attributes. Nil-safe.
+func (sp *Span) Attrs() []Attr {
+	if sp == nil {
+		return nil
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	return append([]Attr(nil), sp.attrs...)
+}
+
+// Attr looks up the last attribute with the given key; ok=false when
+// absent. Nil-safe.
+func (sp *Span) Attr(key string) (Attr, bool) {
+	if sp == nil {
+		return Attr{}, false
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	for i := len(sp.attrs) - 1; i >= 0; i-- {
+		if sp.attrs[i].Key == key {
+			return sp.attrs[i], true
+		}
+	}
+	return Attr{}, false
+}
+
+// Children returns a copy of the span's child list. Nil-safe.
+func (sp *Span) Children() []*Span {
+	if sp == nil {
+		return nil
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	return append([]*Span(nil), sp.children...)
+}
+
+// Trace returns the owning trace (nil on nil).
+func (sp *Span) Trace() *Trace {
+	if sp == nil {
+		return nil
+	}
+	return sp.tr
+}
+
+// OpenSpans reports how many spans are currently open — 0 once every
+// Start/StartChild has been matched by End. Tests pin this to prove
+// cancellation leaves no orphan spans.
+func (tr *Trace) OpenSpans() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.open
+}
+
+// Walk visits sp and its descendants depth-first. Nil-safe.
+func (sp *Span) Walk(fn func(*Span, int)) {
+	sp.walk(fn, 0)
+}
+
+func (sp *Span) walk(fn func(*Span, int), depth int) {
+	if sp == nil {
+		return
+	}
+	fn(sp, depth)
+	for _, c := range sp.Children() {
+		c.walk(fn, depth+1)
+	}
+}
+
+// Find returns the first span named name in sp's subtree (depth-first),
+// or nil. Nil-safe.
+func (sp *Span) Find(name string) *Span {
+	var found *Span
+	sp.Walk(func(s *Span, _ int) {
+		if found == nil && s.Name() == name {
+			found = s
+		}
+	})
+	return found
+}
+
+// FindAll returns every span named name in sp's subtree, depth-first.
+func (sp *Span) FindAll(name string) []*Span {
+	var out []*Span
+	sp.Walk(func(s *Span, _ int) {
+		if s.Name() == name {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// Render writes the span tree rooted at sp as an EXPLAIN ANALYZE-style
+// report: one line per span with its duration and attributes, box-drawn
+// child connectors. Durations round to µs below 10ms and to 10µs above,
+// so reports stay readable without hiding cheap stages.
+func (sp *Span) Render(w io.Writer) {
+	if sp == nil {
+		fmt.Fprintln(w, "(tracing disabled)")
+		return
+	}
+	renderSpan(w, sp, "", "")
+}
+
+// String renders the tree into a string.
+func (sp *Span) String() string {
+	var sb strings.Builder
+	sp.Render(&sb)
+	return sb.String()
+}
+
+func renderSpan(w io.Writer, sp *Span, firstPrefix, restPrefix string) {
+	sp.tr.mu.Lock()
+	name := sp.name
+	dur := sp.dur
+	ended := sp.ended
+	attrs := append([]Attr(nil), sp.attrs...)
+	children := append([]*Span(nil), sp.children...)
+	sp.tr.mu.Unlock()
+
+	line := firstPrefix + name
+	if ended {
+		line += "  " + formatDur(dur)
+	} else {
+		line += "  (open)"
+	}
+	for _, a := range attrs {
+		if a.IsInt {
+			line += fmt.Sprintf("  %s=%d", a.Key, a.Int)
+		} else {
+			line += fmt.Sprintf("  %s=%s", a.Key, quoteIfNeeded(a.Str))
+		}
+	}
+	fmt.Fprintln(w, line)
+	for i, c := range children {
+		if i == len(children)-1 {
+			renderSpan(w, c, restPrefix+"└─ ", restPrefix+"   ")
+		} else {
+			renderSpan(w, c, restPrefix+"├─ ", restPrefix+"│  ")
+		}
+	}
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t") {
+		return "'" + s + "'"
+	}
+	return s
+}
+
+func formatDur(d time.Duration) string {
+	switch {
+	case d < 10*time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// SortedAttrs returns the span's attributes sorted by key — stable
+// rendering for tests that diff reports.
+func (sp *Span) SortedAttrs() []Attr {
+	attrs := sp.Attrs()
+	sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+	return attrs
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisabledNilSafety proves every Span method is a no-op on the nil
+// span an untraced context yields.
+func TestDisabledNilSafety(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "query")
+	if sp != nil {
+		t.Fatal("Start on an untraced context returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start on an untraced context derived a new context")
+	}
+	if Enabled(ctx) {
+		t.Fatal("Enabled reported true on an untraced context")
+	}
+	// All nil-safe:
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.End()
+	//lint:ignore spanend exercising the nil-span path: StartChild must return nil
+	if c := sp.StartChild("child"); c != nil {
+		t.Fatal("StartChild on nil span returned a span")
+	}
+	if sp.Name() != "" || sp.Duration() != 0 || sp.Attrs() != nil || sp.Children() != nil {
+		t.Fatal("nil span accessors returned non-zero values")
+	}
+	if sp.Find("x") != nil || sp.Trace() != nil {
+		t.Fatal("nil span Find/Trace returned non-nil")
+	}
+	if got := sp.String(); !strings.Contains(got, "disabled") {
+		t.Fatalf("nil span render = %q", got)
+	}
+	if sp.Trace().OpenSpans() != 0 {
+		t.Fatal("nil trace OpenSpans != 0")
+	}
+}
+
+// TestDisabledZeroAlloc pins the allocation budget of the disabled
+// path: an instrumentation site — Start, annotate, End — must allocate
+// nothing when the context is untraced. This is the tracing analogue of
+// the disarmed-failpoint proof: production queries that never ask for a
+// trace pay a context lookup and nothing else.
+func TestDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx2, sp := Start(ctx, "cast")
+		sp.SetInt("wire_bytes", 1234)
+		sp.SetStr("object", "patients")
+		child := sp.StartChild("encode")
+		child.End()
+		sp.End()
+		_ = ctx2
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per span site, want 0", allocs)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	ctx, root := New(context.Background(), "trace")
+	ctx, q := Start(ctx, "query")
+	q.SetStr("island", "RELATIONAL")
+	_, parse := Start(ctx, "parse")
+	parse.End()
+	_, cast := Start(ctx, "cast")
+	cast.SetInt("wire_bytes", 4096)
+	enc := cast.StartChild("encode")
+	dec := cast.StartChild("decode")
+	enc.End()
+	dec.End()
+	cast.End()
+	q.End()
+	if root.Trace().OpenSpans() != 1 {
+		t.Fatalf("OpenSpans = %d before root end, want 1", root.Trace().OpenSpans())
+	}
+	root.End()
+	if root.Trace().OpenSpans() != 0 {
+		t.Fatalf("OpenSpans = %d after root end, want 0", root.Trace().OpenSpans())
+	}
+
+	if got := root.Find("decode"); got == nil {
+		t.Fatal("Find(decode) = nil")
+	}
+	if a, ok := root.Find("cast").Attr("wire_bytes"); !ok || a.Int != 4096 {
+		t.Fatalf("cast wire_bytes attr = %+v ok=%v", a, ok)
+	}
+	if n := len(root.FindAll("encode")); n != 1 {
+		t.Fatalf("FindAll(encode) = %d, want 1", n)
+	}
+
+	out := root.String()
+	for _, want := range []string{"query", "parse", "cast", "encode", "decode",
+		"island=RELATIONAL", "wire_bytes=4096", "├─", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	_, root := New(context.Background(), "t")
+	sp := root.StartChild("x")
+	sp.End()
+	d := sp.Duration()
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if sp.Duration() != d {
+		t.Fatal("second End changed the duration")
+	}
+	root.End()
+	root.End()
+	if root.Trace().OpenSpans() != 0 {
+		t.Fatalf("OpenSpans = %d after double End, want 0", root.Trace().OpenSpans())
+	}
+}
+
+// TestConcurrentChildren exercises the transport shape: goroutines
+// opening, annotating and ending children of one span concurrently
+// (run under -race in CI).
+func TestConcurrentChildren(t *testing.T) {
+	_, root := New(context.Background(), "t")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := root.StartChild("worker")
+			sp.SetInt("n", 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+	if root.Trace().OpenSpans() != 0 {
+		t.Fatalf("OpenSpans = %d, want 0", root.Trace().OpenSpans())
+	}
+}
+
+// TestOpenSpanRenders ensures an unclosed span is visible in a render —
+// the debugging aid when a test reports orphans.
+func TestOpenSpanRenders(t *testing.T) {
+	_, root := New(context.Background(), "t")
+	//lint:ignore spanend the open-span "(open)" marker is what this test renders
+	root.StartChild("leaked")
+	out := root.String()
+	if !strings.Contains(out, "leaked  (open)") {
+		t.Fatalf("open span not marked in render:\n%s", out)
+	}
+}
