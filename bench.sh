@@ -18,6 +18,13 @@
 #                             # write BENCH_fault.json
 #   ./bench.sh --obs          # benchmark tracing disabled vs enabled,
 #                             # write BENCH_obs.json
+#   ./bench.sh --serve        # fixed-duration server load smoke via the
+#                             # bigdawg -bench-serve driver, write
+#                             # BENCH_serve.json (QPS, p50/p95/p99)
+#
+# Every mode fails loudly: a benchmark that does not build, errors out,
+# or produces zero parseable entries exits non-zero — an empty or
+# partial BENCH_*.json must never look like a clean run.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -68,7 +75,12 @@ OUT_PUSHDOWN="${OUT_PUSHDOWN:-BENCH_cast_pushdown.json}"
 run() {
   local raw="$1" pkg="$2" pattern="$3"
   echo ">> go test -run '^$' -bench '$pattern' -benchmem -benchtime $BENCHTIME $pkg" >&2
-  go test -run '^$' -bench "$pattern" -benchmem -benchtime "$BENCHTIME" "$pkg" | tee -a "$raw"
+  # set -o pipefail makes a build or benchmark failure fatal despite the
+  # tee; the explicit check keeps the failure message attributable.
+  if ! go test -run '^$' -bench "$pattern" -benchmem -benchtime "$BENCHTIME" "$pkg" | tee -a "$raw"; then
+    echo "bench.sh: benchmark run failed: $pkg ($pattern)" >&2
+    exit 1
+  fi
 }
 
 # Parse `BenchmarkName  N  ns/op  B/op  allocs/op  [wire_bytes/op]`
@@ -96,7 +108,13 @@ to_json() {
   }
   END { print "\n]" >> out }
   ' "$raw"
-  echo "wrote $(grep -c '"name"' "$out") benchmark entries to $out" >&2
+  local entries
+  entries=$(grep -c '"name"' "$out" || true)
+  if [[ "$entries" -eq 0 ]]; then
+    echo "bench.sh: no benchmark entries parsed into $out — the pattern matched nothing or every run errored" >&2
+    exit 1
+  fi
+  echo "wrote $entries benchmark entries to $out" >&2
 }
 
 # --fault: price the fault-injection suite when it is idle — a bare
@@ -130,6 +148,25 @@ if [[ "${1:-}" == "--obs" ]]; then
   trap 'rm -f "$RAW_OBS"' EXIT
   run "$RAW_OBS" ./internal/core 'BenchmarkObsCast|BenchmarkObsQuery'
   to_json "$RAW_OBS" "$OUT_OBS"
+  exit 0
+fi
+
+# --serve: the server load smoke. The bigdawg -bench-serve driver
+# starts an in-process server over the equivalence generator's
+# federation and hammers it with SERVE_CLIENTS concurrent connections
+# for SERVE_DURATION, writing QPS and latency quantiles to
+# BENCH_serve.json. SERVE_MAX_P99 / SERVE_MAX_ERROR_RATE turn the run
+# into a pass/fail gate (CI sets both).
+if [[ "${1:-}" == "--serve" ]]; then
+  OUT_SERVE="${OUT_SERVE:-BENCH_serve.json}"
+  SERVE_CLIENTS="${SERVE_CLIENTS:-64}"
+  SERVE_DURATION="${SERVE_DURATION:-3s}"
+  SERVE_MAX_P99="${SERVE_MAX_P99:-0}"
+  SERVE_MAX_ERROR_RATE="${SERVE_MAX_ERROR_RATE:--1}"
+  go run ./cmd/bigdawg -bench-serve \
+    -bench-clients "$SERVE_CLIENTS" -bench-duration "$SERVE_DURATION" \
+    -bench-out "$OUT_SERVE" \
+    -bench-max-p99 "$SERVE_MAX_P99" -bench-max-error-rate "$SERVE_MAX_ERROR_RATE"
   exit 0
 fi
 

@@ -1,0 +1,208 @@
+// Command benchcheck is the bench-trajectory regression gate: it
+// compares a freshly generated BENCH_*.json against the committed
+// baseline and fails when a tracked headline metric regresses past the
+// allowed fraction. It understands both shapes bench.sh emits — an
+// array of named benchmark entries ([{"name": ..., "allocs_per_op":
+// ...}, ...]) and a single flat object (BENCH_lint.json,
+// BENCH_serve.json).
+//
+// A regression is current > baseline*(1+max-regress) + min-delta;
+// -min-delta is absolute slack so near-zero baselines (e.g. 0
+// findings, 171 ns) are not failed by noise a fraction cannot absorb.
+// Entries or metrics present in the baseline but missing from the
+// current file fail the check: a benchmark silently disappearing is
+// exactly the partial-JSON failure mode this tool exists to catch.
+//
+//	benchcheck -baseline BENCH_obs.json -current /tmp/BENCH_obs.json \
+//	    -metrics allocs_per_op,bytes_per_op -max-regress 0.25
+//	benchcheck -current /tmp/BENCH_serve.json \
+//	    -require qps,p50_ms,p99_ms -require-positive requests
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// entry is one named bag of numeric metrics.
+type entry struct {
+	name    string
+	metrics map[string]float64
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON (omit to only -require)")
+	current := flag.String("current", "", "freshly generated JSON (required)")
+	metricsFlag := flag.String("metrics", "", "comma-separated numeric fields gated for regression against the baseline")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional regression over baseline")
+	minDelta := flag.Float64("min-delta", 0, "absolute slack added to every bound")
+	require := flag.String("require", "", "comma-separated fields every current entry must contain")
+	requirePositive := flag.String("require-positive", "", "comma-separated numeric fields that must be > 0 in every current entry")
+	flag.Parse()
+
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -current is required")
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s holds zero benchmark entries\n", *current)
+		os.Exit(1)
+	}
+
+	var failures []string
+	for _, field := range splitList(*require) {
+		for _, e := range cur {
+			if _, ok := e.metrics[field]; !ok {
+				failures = append(failures, fmt.Sprintf("%s: entry %q lacks required field %q", *current, e.name, field))
+			}
+		}
+	}
+	for _, field := range splitList(*requirePositive) {
+		for _, e := range cur {
+			v, ok := e.metrics[field]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("%s: entry %q lacks required field %q", *current, e.name, field))
+			} else if v <= 0 {
+				failures = append(failures, fmt.Sprintf("%s: entry %q has %s = %v, want > 0", *current, e.name, field, v))
+			}
+		}
+	}
+
+	tracked := splitList(*metricsFlag)
+	if *baseline != "" && len(tracked) > 0 {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		curByName := map[string]entry{}
+		for _, e := range cur {
+			curByName[e.name] = e
+		}
+		checked := 0
+		for _, be := range base {
+			ce, ok := curByName[be.name]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("baseline entry %q missing from %s", be.name, *current))
+				continue
+			}
+			for _, m := range tracked {
+				bv, ok := be.metrics[m]
+				if !ok {
+					continue // baseline never tracked this metric for this entry
+				}
+				cv, ok := ce.metrics[m]
+				if !ok {
+					failures = append(failures, fmt.Sprintf("entry %q lost tracked metric %q", be.name, m))
+					continue
+				}
+				checked++
+				bound := bv*(1+*maxRegress) + *minDelta
+				if cv > bound {
+					failures = append(failures, fmt.Sprintf(
+						"entry %q metric %q regressed: %v > %v (baseline %v, +%.0f%% + %v slack)",
+						be.name, m, cv, bound, bv, *maxRegress*100, *minDelta))
+				}
+			}
+		}
+		if checked == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"no tracked metric (%s) was comparable between %s and %s — nothing was actually gated",
+				*metricsFlag, *baseline, *current))
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchcheck: FAIL: "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %s ok (%d entries)\n", *current, len(cur))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// load parses a BENCH_*.json file into named entries. Arrays become
+// one entry per element (named by the element's "name" field); a flat
+// object becomes a single entry named after itself.
+func load(path string) ([]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var any_ any
+	if err := json.Unmarshal(raw, &any_); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch v := any_.(type) {
+	case []any:
+		entries := make([]entry, 0, len(v))
+		for i, el := range v {
+			m, ok := el.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("%s: element %d is not an object", path, i)
+			}
+			e := toEntry(m)
+			if e.name == "" {
+				return nil, fmt.Errorf("%s: element %d lacks a \"name\"", path, i)
+			}
+			entries = append(entries, e)
+		}
+		return entries, nil
+	case map[string]any:
+		e := toEntry(v)
+		if e.name == "" {
+			// Nameless flat objects (BENCH_lint.json) get a constant name
+			// so a baseline in the repo root matches a current in /tmp.
+			e.name = "snapshot"
+		}
+		return []entry{e}, nil
+	default:
+		return nil, fmt.Errorf("%s: top level is neither array nor object", path)
+	}
+}
+
+// cpuSuffix is go test's GOMAXPROCS suffix on benchmark names
+// ("BenchmarkX/case-8"): stripped so baselines compare across machines
+// with different core counts.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func toEntry(m map[string]any) entry {
+	e := entry{metrics: map[string]float64{}}
+	for k, v := range m {
+		switch val := v.(type) {
+		case float64:
+			e.metrics[k] = val
+		case bool:
+			// Booleans gate as 0/1 so "clean": true is trackable.
+			if val {
+				e.metrics[k] = 1
+			} else {
+				e.metrics[k] = 0
+			}
+		case string:
+			if k == "name" {
+				e.name = cpuSuffix.ReplaceAllString(val, "")
+			}
+		}
+	}
+	return e
+}

@@ -1,0 +1,182 @@
+package main
+
+// The -bench-serve mode: a closed-loop load driver for the server. It
+// starts an in-process server over a generated federation (the same
+// seeded generator the equivalence and chaos harnesses pin), hammers
+// it with N concurrent client connections for a fixed duration, and
+// reports QPS plus latency quantiles measured through the metrics
+// registry's lock-free histogram. Optional -bench-max-p99 /
+// -bench-max-error-rate bounds turn the run into a pass/fail load
+// smoke — the CI serve job's gate.
+//
+// Outcomes are accounted in four classes: ok, query errors (the
+// query itself failed — generated queries include division by zero on
+// purpose, so these are expected and not gated), overloaded
+// (admission rejection) and transport errors (lost/corrupt
+// connection). The error-rate gate covers overloaded + transport.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+var (
+	benchServe     = flag.Bool("bench-serve", false, "run the server load driver instead of the shell")
+	benchClients   = flag.Int("bench-clients", 64, "concurrent client connections")
+	benchDuration  = flag.Duration("bench-duration", 3*time.Second, "load duration")
+	benchSeed      = flag.Int64("bench-seed", 1, "federation generator seed")
+	benchOut       = flag.String("bench-out", "BENCH_serve.json", "result JSON path")
+	benchMaxP99    = flag.Duration("bench-max-p99", 0, "fail if p99 latency exceeds this (0 disables)")
+	benchMaxErrRte = flag.Float64("bench-max-error-rate", -1, "fail if (overloaded+transport)/requests exceeds this (negative disables)")
+)
+
+// serveBenchResult is the BENCH_serve.json schema benchcheck consumes.
+type serveBenchResult struct {
+	Name            string  `json:"name"`
+	Clients         int     `json:"clients"`
+	DurationS       float64 `json:"duration_s"`
+	Seed            int64   `json:"seed"`
+	Requests        int64   `json:"requests"`
+	OK              int64   `json:"ok"`
+	QueryErrors     int64   `json:"query_errors"`
+	Overloaded      int64   `json:"overloaded"`
+	TransportErrors int64   `json:"transport_errors"`
+	QPS             float64 `json:"qps"`
+	P50Ms           float64 `json:"p50_ms"`
+	P95Ms           float64 `json:"p95_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	ErrorRate       float64 `json:"error_rate"`
+}
+
+func runBenchServe() error {
+	g := core.NewFedGen(*benchSeed)
+	objs := g.Catalog()
+	p := core.New()
+	for _, o := range objs {
+		if err := o.Load(p); err != nil {
+			return fmt.Errorf("bench-serve: load %s into %s: %w", o.Name, o.Eng, err)
+		}
+	}
+	queries := g.Queries(objs, 8)
+
+	// Queue deep enough that the closed-loop drivers (one request in
+	// flight per connection) are never rejected for queueing alone —
+	// overload rejections in this run indicate a real regression.
+	s, err := server.Serve(p, "127.0.0.1:0", server.Config{MaxQueue: 2 * *benchClients})
+	if err != nil {
+		return fmt.Errorf("bench-serve: %w", err)
+	}
+
+	reg := metrics.NewRegistry()
+	lat := reg.Histogram("bench.latency")
+	var okN, queryErrN, overloadedN, transportN atomic.Int64
+
+	fmt.Printf("bench-serve: %d clients × %s against %d objects, %d query shapes (seed %d)\n",
+		*benchClients, *benchDuration, len(objs), len(queries), *benchSeed)
+	deadline := time.Now().Add(*benchDuration)
+	var wg sync.WaitGroup
+	for w := 0; w < *benchClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr().String())
+			if err != nil {
+				transportN.Add(1)
+				return
+			}
+			defer func() { _ = c.Close() }()
+			for i := w; time.Now().Before(deadline); i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				start := time.Now()
+				_, err := c.Query(ctx, queries[i%len(queries)])
+				cancel()
+				switch {
+				case err == nil:
+					okN.Add(1)
+					lat.Observe(time.Since(start))
+				case errors.Is(err, client.ErrOverloaded):
+					overloadedN.Add(1)
+				default:
+					var qe *client.QueryError
+					if errors.As(err, &qe) {
+						// The query failed but the server served it; its
+						// latency is as real as a success's.
+						queryErrN.Add(1)
+						lat.Observe(time.Since(start))
+						continue
+					}
+					transportN.Add(1)
+					_ = c.Close()
+					nc, derr := client.Dial(s.Addr().String())
+					if derr != nil {
+						return
+					}
+					c = nc
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		return fmt.Errorf("bench-serve: drain failed: %w", err)
+	}
+
+	total := okN.Load() + queryErrN.Load() + overloadedN.Load() + transportN.Load()
+	completed := okN.Load() + queryErrN.Load()
+	res := serveBenchResult{
+		Name:            "bench_serve",
+		Clients:         *benchClients,
+		DurationS:       benchDuration.Seconds(),
+		Seed:            *benchSeed,
+		Requests:        total,
+		OK:              okN.Load(),
+		QueryErrors:     queryErrN.Load(),
+		Overloaded:      overloadedN.Load(),
+		TransportErrors: transportN.Load(),
+		QPS:             float64(completed) / benchDuration.Seconds(),
+		P50Ms:           float64(lat.P50()) / float64(time.Millisecond),
+		P95Ms:           float64(lat.P95()) / float64(time.Millisecond),
+		P99Ms:           float64(lat.P99()) / float64(time.Millisecond),
+	}
+	if total > 0 {
+		res.ErrorRate = float64(res.Overloaded+res.TransportErrors) / float64(total)
+	}
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*benchOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-serve: %d requests (%d ok, %d query errors, %d overloaded, %d transport), %.0f qps, p50 %.3fms p95 %.3fms p99 %.3fms → %s\n",
+		res.Requests, res.OK, res.QueryErrors, res.Overloaded, res.TransportErrors,
+		res.QPS, res.P50Ms, res.P95Ms, res.P99Ms, *benchOut)
+
+	if res.Requests == 0 {
+		return fmt.Errorf("bench-serve: zero requests completed — the server served nothing")
+	}
+	if *benchMaxP99 > 0 && res.P99Ms > float64(*benchMaxP99)/float64(time.Millisecond) {
+		return fmt.Errorf("bench-serve: p99 %.3fms exceeds bound %s", res.P99Ms, *benchMaxP99)
+	}
+	if *benchMaxErrRte >= 0 && res.ErrorRate > *benchMaxErrRte {
+		return fmt.Errorf("bench-serve: error rate %.4f (overloaded %d + transport %d of %d) exceeds bound %.4f",
+			res.ErrorRate, res.Overloaded, res.TransportErrors, res.Requests, *benchMaxErrRte)
+	}
+	return nil
+}

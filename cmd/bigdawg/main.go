@@ -5,6 +5,8 @@
 // Usage:
 //
 //	bigdawg [-patients 200] [-monitor :6060] [-slow 50ms]
+//	bigdawg -serve :4250 [-max-concurrent 16] [-max-queue 32] [-drain-timeout 15s]
+//	bigdawg -bench-serve [-bench-clients 64] [-bench-duration 3s] [-bench-out BENCH_serve.json]
 //	> POSTGRES(SELECT COUNT(*) FROM patients)
 //	> RELATIONAL(SELECT * FROM CAST(waveforms, relation) WHERE v > 1.5 LIMIT 5)
 //	> TEXT(search(notes, 'very sick', 3))
@@ -21,6 +23,11 @@
 // (/debug/pprof/) on the given address. -slow logs any query slower
 // than the threshold to stderr together with its EXPLAIN ANALYZE span
 // tree, so a slow cross-island cast shows which stage ate the time.
+//
+// -serve swaps the shell for the TCP server (serve.go): the same
+// federation, the same -monitor endpoint, but queries arrive over the
+// BDWQ wire protocol. -bench-serve runs the closed-loop load driver
+// (benchserve.go) against an in-process server and exits.
 package main
 
 import (
@@ -47,6 +54,13 @@ func main() {
 	slow := flag.Duration("slow", 0, "log queries slower than this with their span tree (0 disables)")
 	flag.Parse()
 
+	if *benchServe {
+		if err := runBenchServe(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	cfg := mimic.DefaultConfig()
 	cfg.Patients = *patients
 	fmt.Printf("loading MIMIC II demo federation (%d patients)...\n", *patients)
@@ -66,6 +80,13 @@ func main() {
 			log.Fatal(http.ListenAndServe(*monitorAddr, nil))
 		}()
 		fmt.Printf("monitor: http://%s/debug/vars and /debug/pprof/\n", *monitorAddr)
+	}
+
+	if *serveAddr != "" {
+		if err := runServe(p); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("ready: %d objects across 4 engines, %d islands\n",

@@ -1,0 +1,57 @@
+package main
+
+// The -serve mode: instead of the interactive shell, expose the loaded
+// federation as a long-lived TCP service speaking the BDWQ request
+// protocol with BDW2-framed results. SIGINT/SIGTERM triggers a
+// graceful drain (in-flight queries finish, then the process exits);
+// if the drain budget expires, remaining queries are severed — the
+// atomic-cast machinery keeps the catalog consistent either way.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+var (
+	serveAddr = flag.String("serve", "",
+		"serve the polystore over TCP on this address (e.g. :4250) instead of the shell")
+	serveMaxConcurrent = flag.Int("max-concurrent", 0,
+		"queries executing in parallel (0 = 2×GOMAXPROCS)")
+	serveMaxQueue = flag.Int("max-queue", 0,
+		"admitted requests waiting for a slot before rejection (0 = 2×max-concurrent)")
+	serveDrain = flag.Duration("drain-timeout", 15*time.Second,
+		"graceful drain budget on SIGINT/SIGTERM before in-flight queries are severed")
+)
+
+func runServe(p *core.Polystore) error {
+	s, err := server.Serve(p, *serveAddr, server.Config{
+		MaxConcurrent: *serveMaxConcurrent,
+		MaxQueue:      *serveMaxQueue,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := s.Config()
+	fmt.Printf("serving on %s (max-concurrent %d, queue %d, default timeout %s)\n",
+		s.Addr(), cfg.MaxConcurrent, cfg.MaxQueue, cfg.DefaultTimeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("signal received, draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *serveDrain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain budget exhausted, in-flight queries severed: %w", err)
+	}
+	fmt.Println("drained cleanly")
+	return nil
+}

@@ -22,7 +22,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"testing"
@@ -76,15 +75,15 @@ func TestChaosRandomized(t *testing.T) {
 // injected faults actually fired.
 func runChaosSeed(t *testing.T, seed int64) int {
 	t.Helper()
-	g := &equivGen{rng: rand.New(rand.NewSource(seed))}
-	objs := g.catalog()
-	queries := g.queries(objs, 5)
+	g := NewFedGen(seed)
+	objs := g.Catalog()
+	queries := g.Queries(objs, 5)
 
 	build := func() *Polystore {
 		p := New()
 		for _, o := range objs {
-			if err := o.load(p); err != nil {
-				t.Fatalf("seed %d: load %s into %s: %v", seed, o.name, o.eng, err)
+			if err := o.Load(p); err != nil {
+				t.Fatalf("seed %d: load %s into %s: %v", seed, o.Name, o.Eng, err)
 			}
 		}
 		return p

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrOverloaded is returned when a request arrives with every execution
+// slot busy and the bounded admission queue already full. The server
+// maps it to a CodeOverloaded error frame: the client learns
+// immediately instead of the server piling up goroutines — the
+// graceful-degradation posture (reject, don't collapse) the robust-join
+// literature argues for under overload.
+var ErrOverloaded = errors.New("server: overloaded: admission queue full")
+
+// admission is the server's admission controller: a counting semaphore
+// of execution slots plus a bounded wait queue. A request either takes
+// a slot, waits in the queue for one (still holding its connection
+// goroutine — the only goroutine it ever holds), or is rejected with
+// ErrOverloaded when the queue is full. Memory and goroutine usage are
+// therefore bounded by slots+queue regardless of offered load.
+type admission struct {
+	// slots holds one token per executing request.
+	slots chan struct{}
+	// members holds one token per admitted-or-waiting request, so
+	// len(members) - len(slots) is the current queue depth and the
+	// channel capacity (slots+queue) is the hard admission bound.
+	members chan struct{}
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{
+		slots:   make(chan struct{}, maxConcurrent),
+		members: make(chan struct{}, maxConcurrent+maxQueue),
+	}
+}
+
+// acquire admits one request: immediately, after a bounded queue wait,
+// or not at all. ctx expiry while queued returns ctx's error (the
+// request's deadline covers queue time — a request that waited its
+// whole budget is not worth starting).
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.members <- struct{}{}:
+	default:
+		return ErrOverloaded
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-a.members
+		return ctx.Err()
+	}
+}
+
+// release frees the slot and membership taken by acquire.
+func (a *admission) release() {
+	<-a.slots
+	<-a.members
+}
+
+// executing reports how many requests hold execution slots.
+func (a *admission) executing() int { return len(a.slots) }
+
+// queued reports how many admitted requests are waiting for a slot.
+func (a *admission) queued() int { return len(a.members) - len(a.slots) }

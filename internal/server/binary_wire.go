@@ -1,0 +1,372 @@
+// Package server promotes the polystore from an in-process library to
+// a long-lived TCP service: the network-native federation of the
+// paper's deployment story. The wire format reuses the v2 "BDW2"
+// framed codec for result streaming — one frame ≈ one mini-batch, so a
+// result streams to the client exactly the way a CAST streams between
+// engines — under a tiny framed request protocol (query / cast /
+// explain / metrics / ping).
+//
+// This file is the protocol layer, shared by the server and the client
+// in server/client. It is deliberately named binary_wire.go so the
+// bigdawg-vet decodebounds analyzer audits every wire-supplied length
+// here the same way it audits the engine codec: a hostile or truncated
+// frame must produce a typed error, never a panic or an
+// attacker-chosen allocation.
+//
+// Request frame ("BDWQ"):
+//
+//	u32 magic 0x51574442
+//	u8  opcode (OpQuery, OpCast, OpExplain, OpMetrics, OpPing)
+//	u32 deadline in milliseconds (0 = server default)
+//	u32 payload length (≤ MaxRequestBytes)
+//	payload:
+//	  query/explain — the SCOPE query text
+//	  cast          — u16 len + object name, u16 len + target engine
+//	  metrics/ping  — empty
+//
+// Response frame:
+//
+//	u8 status, then:
+//	  StatusRelation — a BDW2 relation stream (engine.ReadBinary)
+//	  StatusText     — u32 len + UTF-8 bytes
+//	  StatusError    — u8 code, u32 len + message bytes
+//	  StatusExplain  — u32 len + report bytes, then a BDW2 stream
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Request opcodes.
+const (
+	OpQuery   byte = 1 // payload: SCOPE query text → StatusRelation
+	OpCast    byte = 2 // payload: object + engine → StatusText summary
+	OpExplain byte = 3 // payload: SCOPE query text → StatusExplain
+	OpMetrics byte = 4 // empty payload → StatusText (registry JSON)
+	OpPing    byte = 5 // empty payload → StatusText "pong"
+)
+
+// Response statuses.
+const (
+	StatusRelation byte = 0
+	StatusText     byte = 1
+	StatusError    byte = 2
+	StatusExplain  byte = 3
+)
+
+// Error codes carried by StatusError frames.
+const (
+	CodeInternal   byte = 1 // query/cast failed inside the polystore
+	CodeBadRequest byte = 2 // malformed frame or unknown opcode
+	CodeOverloaded byte = 3 // admission controller rejected the request
+	CodeDeadline   byte = 4 // per-query deadline expired
+	CodeShutdown   byte = 5 // server is draining or the query was severed
+)
+
+// Wire bounds. Anything beyond them is rejected before allocation.
+const (
+	reqMagic = 0x51574442 // "BDWQ" little-endian
+
+	// MaxRequestBytes caps one request payload (a query text or cast
+	// arguments — 1MiB is orders of magnitude beyond any real query).
+	MaxRequestBytes = 1 << 20
+	// maxTextBytes caps a text response the client will accept (metrics
+	// snapshots, explain reports).
+	maxTextBytes = 1 << 26
+	// maxErrBytes caps an error message either side will accept.
+	maxErrBytes = 1 << 16
+	// maxCastArgBytes caps one cast argument (object or engine name).
+	maxCastArgBytes = 1 << 12
+	// maxDeadlineMillis caps the client-requested deadline field; the
+	// server clamps further via Config.MaxTimeout.
+	maxDeadlineMillis = 86_400_000 // 24h
+)
+
+// Request is one decoded client request.
+type Request struct {
+	Op       byte
+	Deadline time.Duration // 0 = server default
+	Text     string        // query text for OpQuery / OpExplain
+	Object   string        // OpCast source object
+	Engine   string        // OpCast target engine
+}
+
+// Response is one decoded server reply (client side).
+type Response struct {
+	Status byte
+	Code   byte             // StatusError only
+	Text   string           // StatusText / StatusError message / StatusExplain report
+	Rel    *engine.Relation // StatusRelation / StatusExplain
+}
+
+// errProto marks protocol-level corruption: after one of these the
+// stream framing is lost and the connection must close.
+var errProto = errors.New("server: protocol error")
+
+// protof wraps errProto with context, mirroring the engine codec's
+// corruptf so failures name what was malformed.
+func protof(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errProto, fmt.Sprintf(format, args...))
+}
+
+// IsProtocolError reports whether err is a framing-level failure after
+// which the connection cannot be reused.
+func IsProtocolError(err error) bool { return errors.Is(err, errProto) }
+
+// ---------- request encoding ----------
+
+// WriteRequest frames one request onto w.
+func WriteRequest(w io.Writer, req Request) error {
+	switch req.Op {
+	case OpQuery, OpExplain, OpCast, OpMetrics, OpPing:
+	default:
+		return fmt.Errorf("server: unknown opcode %d", req.Op)
+	}
+	var payload []byte
+	switch req.Op {
+	case OpQuery, OpExplain:
+		if len(req.Text) > MaxRequestBytes {
+			return fmt.Errorf("server: query of %d bytes exceeds wire limit %d", len(req.Text), MaxRequestBytes)
+		}
+		payload = []byte(req.Text)
+	case OpCast:
+		if len(req.Object) > maxCastArgBytes || len(req.Engine) > maxCastArgBytes {
+			return fmt.Errorf("server: cast argument exceeds wire limit %d", maxCastArgBytes)
+		}
+		payload = make([]byte, 0, 4+len(req.Object)+len(req.Engine))
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(req.Object)))
+		payload = append(payload, req.Object...)
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(req.Engine)))
+		payload = append(payload, req.Engine...)
+	}
+	millis := req.Deadline.Milliseconds()
+	if millis < 0 {
+		millis = 0
+	}
+	if millis > maxDeadlineMillis {
+		millis = maxDeadlineMillis
+	}
+	head := make([]byte, 0, 13+len(payload))
+	head = binary.LittleEndian.AppendUint32(head, reqMagic)
+	head = append(head, req.Op)
+	head = binary.LittleEndian.AppendUint32(head, uint32(millis))
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(payload)))
+	head = append(head, payload...)
+	_, err := w.Write(head)
+	return err
+}
+
+// ReadRequest decodes one request frame. io.EOF before the first byte
+// means the peer closed cleanly between requests; any other failure is
+// a protocol error that must close the connection.
+func ReadRequest(r io.Reader) (Request, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Request{}, io.EOF
+		}
+		return Request{}, protof("truncated request header: %v", err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return Request{}, protof("truncated request header: %v", err)
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:4]); magic != reqMagic {
+		return Request{}, protof("bad request magic %#x", magic)
+	}
+	req := Request{Op: hdr[4]}
+	switch req.Op {
+	case OpQuery, OpExplain, OpCast, OpMetrics, OpPing:
+	default:
+		return Request{}, protof("unknown opcode %d", req.Op)
+	}
+	millis := binary.LittleEndian.Uint32(hdr[5:9])
+	if millis > maxDeadlineMillis {
+		return Request{}, protof("deadline %dms exceeds limit %dms", millis, maxDeadlineMillis)
+	}
+	req.Deadline = time.Duration(millis) * time.Millisecond
+	plen := binary.LittleEndian.Uint32(hdr[9:13])
+	if plen > MaxRequestBytes {
+		return Request{}, protof("request payload %d bytes exceeds limit %d", plen, MaxRequestBytes)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Request{}, protof("truncated request payload: %v", err)
+	}
+	switch req.Op {
+	case OpQuery, OpExplain:
+		req.Text = string(payload)
+	case OpCast:
+		obj, rest, err := readArg(payload)
+		if err != nil {
+			return Request{}, err
+		}
+		eng, rest, err := readArg(rest)
+		if err != nil {
+			return Request{}, err
+		}
+		if len(rest) != 0 {
+			return Request{}, protof("cast payload has %d trailing bytes", len(rest))
+		}
+		req.Object, req.Engine = obj, eng
+	case OpMetrics, OpPing:
+		if plen != 0 {
+			return Request{}, protof("opcode %d carries no payload, got %d bytes", req.Op, plen)
+		}
+	}
+	return req, nil
+}
+
+// readArg decodes one u16-length-prefixed cast argument.
+func readArg(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, protof("truncated cast argument length")
+	}
+	n := binary.LittleEndian.Uint16(b[0:2])
+	if int(n) > maxCastArgBytes {
+		return "", nil, protof("cast argument of %d bytes exceeds limit %d", n, maxCastArgBytes)
+	}
+	if int(n) > len(b)-2 {
+		return "", nil, protof("cast argument of %d bytes overruns payload of %d", n, len(b)-2)
+	}
+	return string(b[2 : 2+int(n)]), b[2+int(n):], nil
+}
+
+// ---------- response encoding ----------
+
+// WriteRelation frames a successful query result: the status byte, then
+// the relation in the BDW2 streaming codec.
+func WriteRelation(w io.Writer, rel *engine.Relation) error {
+	bw := bufio.NewWriter(w)
+	if err := bw.WriteByte(StatusRelation); err != nil {
+		return err
+	}
+	if err := rel.WriteBinary(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteText frames a text response.
+func WriteText(w io.Writer, s string) error {
+	if len(s) > maxTextBytes {
+		return fmt.Errorf("server: text response of %d bytes exceeds wire limit %d", len(s), maxTextBytes)
+	}
+	buf := make([]byte, 0, 5+len(s))
+	buf = append(buf, StatusText)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	buf = append(buf, s...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteError frames a typed error response.
+func WriteError(w io.Writer, code byte, msg string) error {
+	if len(msg) > maxErrBytes {
+		msg = msg[:maxErrBytes]
+	}
+	buf := make([]byte, 0, 6+len(msg))
+	buf = append(buf, StatusError, code)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(msg)))
+	buf = append(buf, msg...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteExplain frames an EXPLAIN ANALYZE response: the report text,
+// then the result relation.
+func WriteExplain(w io.Writer, report string, rel *engine.Relation) error {
+	if len(report) > maxTextBytes {
+		return fmt.Errorf("server: explain report of %d bytes exceeds wire limit %d", len(report), maxTextBytes)
+	}
+	bw := bufio.NewWriter(w)
+	head := make([]byte, 0, 5+len(report))
+	head = append(head, StatusExplain)
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(report)))
+	head = append(head, report...)
+	if _, err := bw.Write(head); err != nil {
+		return err
+	}
+	if err := rel.WriteBinary(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadResponse decodes one response frame (the client side). The
+// reader must be positioned at a status byte; relation payloads are
+// decoded by the engine codec, which enforces its own bounds.
+func ReadResponse(r io.Reader) (Response, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Response{}, protof("truncated response status: %v", err)
+	}
+	resp := Response{Status: b[0]}
+	switch resp.Status {
+	case StatusRelation:
+		rel, err := engine.ReadBinary(r)
+		if err != nil {
+			return Response{}, protof("relation stream: %v", err)
+		}
+		resp.Rel = rel
+		return resp, nil
+	case StatusText:
+		s, err := readLenText(r, maxTextBytes)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Text = s
+		return resp, nil
+	case StatusError:
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return Response{}, protof("truncated error code: %v", err)
+		}
+		resp.Code = b[0]
+		s, err := readLenText(r, maxErrBytes)
+		if err != nil {
+			return Response{}, err
+		}
+		resp.Text = s
+		return resp, nil
+	case StatusExplain:
+		s, err := readLenText(r, maxTextBytes)
+		if err != nil {
+			return Response{}, err
+		}
+		rel, err := engine.ReadBinary(r)
+		if err != nil {
+			return Response{}, protof("relation stream: %v", err)
+		}
+		resp.Text, resp.Rel = s, rel
+		return resp, nil
+	default:
+		return Response{}, protof("unknown response status %d", resp.Status)
+	}
+}
+
+// readLenText decodes a u32-length-prefixed string, capped at limit
+// before any allocation.
+func readLenText(r io.Reader, limit int) (string, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", protof("truncated text length: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	// The constant cap bounds the allocation for every caller; the
+	// caller's limit tightens it per frame type (error messages are far
+	// smaller than explain reports).
+	if n > maxTextBytes || int64(n) > int64(limit) {
+		return "", protof("text of %d bytes exceeds limit %d", n, limit)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", protof("truncated text body: %v", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,193 @@
+// Package client is the Go client for the polystore server: a
+// connection speaking the framed request protocol of internal/server,
+// with results streamed back in the v2 BDW2 codec. A Client is safe
+// for concurrent use; calls serialize on the single connection (open
+// several clients for parallelism — the load driver does).
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// Typed failures a server can answer with. Errors returned by Query
+// and friends wrap these, so errors.Is picks them out of the chain.
+var (
+	// ErrOverloaded mirrors server.ErrOverloaded across the wire.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrDeadline reports the per-query deadline expired server-side.
+	ErrDeadline = errors.New("client: query deadline exceeded on server")
+	// ErrShutdown reports the server severed the query (drain/hard stop).
+	ErrShutdown = errors.New("client: query severed by server shutdown")
+)
+
+// QueryError is a server-side failure of a well-formed request — the
+// query itself erred, not the transport.
+type QueryError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *QueryError) Error() string { return e.Msg }
+
+// Unwrap maps wire codes back to the typed sentinels.
+func (e *QueryError) Unwrap() error {
+	switch e.Code {
+	case server.CodeOverloaded:
+		return ErrOverloaded
+	case server.CodeDeadline:
+		return ErrDeadline
+	case server.CodeShutdown:
+		return ErrShutdown
+	default:
+		return nil
+	}
+}
+
+// Client is one connection to a polystore server.
+type Client struct {
+	mu   sync.Mutex // serializes round trips
+	conn net.Conn
+	br   *bufio.Reader
+	// broken marks the connection after a transport/protocol failure or
+	// Close: framing may be lost, so further calls fail fast. It is
+	// atomic (not under mu) so Close can sever a round trip in flight —
+	// that is how a caller abandons a query mid-execution.
+	broken atomic.Bool
+}
+
+// Dial connects to a polystore server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}, nil
+}
+
+// Close tears down the connection. It deliberately does not take the
+// round-trip lock: closing while a call is blocked on the server is
+// how a caller disconnects mid-query (the server cancels the query's
+// context when it notices).
+func (c *Client) Close() error {
+	c.broken.Store(true)
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and decodes the response, serializing on
+// the connection. The context's deadline travels in the request frame
+// (the server enforces it around the query) and is mirrored onto the
+// socket so a dead server cannot block the client past it.
+func (c *Client) roundTrip(ctx context.Context, req server.Request) (server.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken.Load() {
+		return server.Response{}, fmt.Errorf("client: connection is broken (closed or previous transport failure)")
+	}
+	if err := ctx.Err(); err != nil {
+		return server.Response{}, err
+	}
+	var sockDeadline time.Time // zero = none
+	if d, ok := ctx.Deadline(); ok {
+		req.Deadline = time.Until(d)
+		if req.Deadline <= 0 {
+			return server.Response{}, context.DeadlineExceeded
+		}
+		// Grace so the server's own deadline reply normally wins the race
+		// against the socket timeout.
+		sockDeadline = d.Add(2 * time.Second)
+	}
+	if err := c.conn.SetDeadline(sockDeadline); err != nil {
+		c.broken.Store(true)
+		return server.Response{}, err
+	}
+	if err := server.WriteRequest(c.conn, req); err != nil {
+		c.broken.Store(true)
+		return server.Response{}, fmt.Errorf("client: send: %w", err)
+	}
+	resp, err := server.ReadResponse(c.br)
+	if err != nil {
+		c.broken.Store(true)
+		return server.Response{}, fmt.Errorf("client: recv: %w", err)
+	}
+	return resp, nil
+}
+
+// errFrom converts an error response into a *QueryError.
+func errFrom(resp server.Response) error {
+	if resp.Status != server.StatusError {
+		return fmt.Errorf("client: unexpected response status %d", resp.Status)
+	}
+	return &QueryError{Code: resp.Code, Msg: resp.Text}
+}
+
+// Query runs one SCOPE/CAST query and returns its result relation.
+func (c *Client) Query(ctx context.Context, q string) (*engine.Relation, error) {
+	resp, err := c.roundTrip(ctx, server.Request{Op: server.OpQuery, Text: q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != server.StatusRelation {
+		return nil, errFrom(resp)
+	}
+	return resp.Rel, nil
+}
+
+// Explain runs EXPLAIN ANALYZE on a query: the span-tree report plus
+// the result relation.
+func (c *Client) Explain(ctx context.Context, q string) (string, *engine.Relation, error) {
+	resp, err := c.roundTrip(ctx, server.Request{Op: server.OpExplain, Text: q})
+	if err != nil {
+		return "", nil, err
+	}
+	if resp.Status != server.StatusExplain {
+		return "", nil, errFrom(resp)
+	}
+	return resp.Text, resp.Rel, nil
+}
+
+// Cast migrates a catalog object to another engine; the returned text
+// summarises the migration.
+func (c *Client) Cast(ctx context.Context, object, eng string) (string, error) {
+	resp, err := c.roundTrip(ctx, server.Request{Op: server.OpCast, Object: object, Engine: eng})
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != server.StatusText {
+		return "", errFrom(resp)
+	}
+	return resp.Text, nil
+}
+
+// Metrics fetches the server's metrics-registry snapshot as JSON.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.roundTrip(ctx, server.Request{Op: server.OpMetrics})
+	if err != nil {
+		return "", err
+	}
+	if resp.Status != server.StatusText {
+		return "", errFrom(resp)
+	}
+	return resp.Text, nil
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.roundTrip(ctx, server.Request{Op: server.OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Status != server.StatusText {
+		return errFrom(resp)
+	}
+	return nil
+}

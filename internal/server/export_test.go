@@ -1,0 +1,10 @@
+package server
+
+// Test-only introspection into the admission controller, used by the
+// integration suite to sequence overload scenarios deterministically.
+
+// AdmissionExecuting reports how many requests hold execution slots.
+func (s *Server) AdmissionExecuting() int { return s.adm.executing() }
+
+// AdmissionQueued reports how many admitted requests wait for a slot.
+func (s *Server) AdmissionQueued() int { return s.adm.queued() }

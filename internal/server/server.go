@@ -1,0 +1,354 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from
+// normalize.
+type Config struct {
+	// MaxConcurrent is the number of queries executing in parallel
+	// (default 2×GOMAXPROCS — queries are a mix of CPU and pipe work).
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted requests may wait for a slot
+	// before new arrivals are rejected with ErrOverloaded (default
+	// 2×MaxConcurrent).
+	MaxQueue int
+	// DefaultTimeout is the per-query deadline applied when a request
+	// carries none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 2m).
+	MaxTimeout time.Duration
+}
+
+func (c Config) normalize() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the polystore's TCP front end: one goroutine per
+// connection plus one reader goroutine under it (so a dropped peer
+// cancels its in-flight query), a per-query context carrying the
+// request deadline into QueryCtx/CastCtx, and the admission controller
+// bounding concurrent execution. Metrics land in the polystore's own
+// registry under server.* — the -monitor expvar endpoint serves them
+// alongside the query/cast metrics for free.
+type Server struct {
+	poly *core.Polystore
+	cfg  Config
+	ln   net.Listener
+	adm  *admission
+
+	// baseCtx parents every query context; cancel severs in-flight work
+	// on hard shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	// draining closes when Shutdown begins: the accept loop stops and
+	// idle connections close; in-flight requests run to completion.
+	draining  chan struct{}
+	drainOnce sync.Once
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	wg sync.WaitGroup // accept loop + connection handlers
+
+	sm serverMetrics
+}
+
+// serverMetrics are the registry handles the request path updates.
+type serverMetrics struct {
+	connections *metrics.Gauge
+	inflight    *metrics.Gauge
+	requests    *metrics.Counter
+	errors      *metrics.Counter
+	overloaded  *metrics.Counter
+	protoErrors *metrics.Counter
+	latency     *metrics.Histogram
+}
+
+// Serve starts a server for the polystore on addr (e.g. ":4250" or
+// "127.0.0.1:0") and begins accepting connections.
+func Serve(p *core.Polystore, addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		poly:     p,
+		cfg:      cfg,
+		ln:       ln,
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		draining: make(chan struct{}),
+		conns:    map[net.Conn]struct{}{},
+		sm: serverMetrics{
+			connections: p.Metrics.Gauge("server.connections"),
+			inflight:    p.Metrics.Gauge("server.inflight"),
+			requests:    p.Metrics.Counter("server.requests"),
+			errors:      p.Metrics.Counter("server.errors"),
+			overloaded:  p.Metrics.Counter("server.overloaded"),
+			protoErrors: p.Metrics.Counter("server.protocol_errors"),
+			latency:     p.Metrics.Histogram("server.latency"),
+		},
+	}
+	p.Metrics.GaugeFunc("server.queue_depth", func() int64 { return int64(s.adm.queued()) })
+	p.Metrics.GaugeFunc("server.executing", func() int64 { return int64(s.adm.executing()) })
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the listener's bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Config reports the server's normalized configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.mu.Lock()
+		select {
+		case <-s.draining:
+			s.mu.Unlock()
+			c.Close()
+			continue
+		default:
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// readResult is one frame (or terminal error) off a connection.
+type readResult struct {
+	req Request
+	err error
+}
+
+// handleConn owns one connection: a reader goroutine pulls request
+// frames off the socket while this goroutine executes them, so a peer
+// that disconnects mid-query is noticed immediately (the blocked read
+// fails → connCtx cancels → the in-flight QueryCtx unwinds through the
+// cast pipeline's teardown). The reader goroutine can never leak: the
+// handler's deferred Close unblocks any pending read, and its sends
+// select on connCtx which the handler cancels on exit.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	connCtx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.sm.connections.Add(-1)
+	}()
+	s.sm.connections.Add(1)
+
+	reqs := make(chan readResult, 1)
+	go func() {
+		br := bufio.NewReader(c)
+		for {
+			req, err := ReadRequest(br)
+			if err != nil {
+				// Park the error (the buffer guarantees room when the
+				// handler is idle), then cancel: if the handler is mid-query
+				// this is a dropped peer and the query must die now.
+				select {
+				case reqs <- readResult{err: err}:
+				default:
+				}
+				cancel()
+				return
+			}
+			select {
+			case reqs <- readResult{req: req}:
+			case <-connCtx.Done():
+				return
+			}
+		}
+	}()
+
+	// replyProtoErr answers a framing failure with a typed error frame
+	// (best-effort — the peer may already be gone) before closing.
+	replyProtoErr := func(err error) {
+		if errors.Is(err, io.EOF) {
+			return // clean close between requests
+		}
+		s.sm.protoErrors.Inc()
+		_ = WriteError(c, CodeBadRequest, err.Error())
+	}
+
+	for {
+		select {
+		case <-s.draining:
+			return
+		case <-connCtx.Done():
+			// The reader may have parked a protocol error just before
+			// cancelling; drain it so corrupt frames still get their reply.
+			select {
+			case rr := <-reqs:
+				if rr.err != nil {
+					replyProtoErr(rr.err)
+				}
+			default:
+			}
+			return
+		case rr := <-reqs:
+			if rr.err != nil {
+				// After a framing error the stream cannot be trusted.
+				replyProtoErr(rr.err)
+				return
+			}
+			if err := s.serveRequest(connCtx, c, rr.req); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveRequest admits, executes and answers one request. A non-nil
+// return closes the connection (response write failed or the
+// connection's context died).
+func (s *Server) serveRequest(connCtx context.Context, c net.Conn, req Request) error {
+	start := time.Now()
+	s.sm.requests.Inc()
+
+	// The query deadline starts before admission: time spent queued
+	// counts against the request's budget, so a saturated server sheds
+	// stale work instead of executing it after the client gave up.
+	d := s.cfg.DefaultTimeout
+	if req.Deadline > 0 {
+		d = req.Deadline
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	qctx, qcancel := context.WithTimeout(connCtx, d)
+	defer qcancel()
+
+	if err := s.adm.acquire(qctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.sm.overloaded.Inc()
+			return WriteError(c, CodeOverloaded, err.Error())
+		}
+		s.sm.errors.Inc()
+		return WriteError(c, errCode(connCtx, err), err.Error())
+	}
+	defer s.adm.release()
+	s.sm.inflight.Add(1)
+	defer s.sm.inflight.Add(-1)
+
+	switch req.Op {
+	case OpQuery:
+		rel, err := s.poly.QueryCtx(qctx, req.Text)
+		if err != nil {
+			s.sm.errors.Inc()
+			return WriteError(c, errCode(connCtx, err), err.Error())
+		}
+		s.sm.latency.Observe(time.Since(start))
+		return WriteRelation(c, rel)
+	case OpExplain:
+		report, rel, err := s.poly.ExplainAnalyze(qctx, req.Text)
+		if err != nil {
+			s.sm.errors.Inc()
+			return WriteError(c, errCode(connCtx, err), fmt.Sprintf("%v\n%s", err, report))
+		}
+		s.sm.latency.Observe(time.Since(start))
+		return WriteExplain(c, report, rel)
+	case OpCast:
+		res, err := s.poly.MigrateCtx(qctx, req.Object, core.EngineKind(req.Engine), core.CastOptions{})
+		if err != nil {
+			s.sm.errors.Inc()
+			return WriteError(c, errCode(connCtx, err), err.Error())
+		}
+		s.sm.latency.Observe(time.Since(start))
+		return WriteText(c, fmt.Sprintf("migrated %s: %s → %s (%d rows, %d bytes, %s)",
+			res.Object, res.From, res.To, res.Rows, res.Bytes, res.Elapsed.Round(time.Microsecond)))
+	case OpMetrics:
+		return WriteText(c, s.poly.Metrics.String())
+	case OpPing:
+		return WriteText(c, "pong")
+	default:
+		// Unreachable: ReadRequest validated the opcode.
+		return WriteError(c, CodeBadRequest, fmt.Sprintf("server: unknown opcode %d", req.Op))
+	}
+}
+
+// errCode classifies a request failure for the wire. Deadline and
+// severed-connection outcomes get their own codes so clients (and the
+// load driver's error accounting) can tell them from query errors.
+func errCode(connCtx context.Context, err error) byte {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled) && connCtx.Err() != nil:
+		return CodeShutdown
+	default:
+		return CodeInternal
+	}
+}
+
+// Shutdown drains the server: the listener closes, idle connections
+// close, and in-flight requests run to completion. If ctx expires
+// first, every remaining query context is canceled and connections are
+// severed — the atomic-cast machinery guarantees the polystore is left
+// consistent. Always returns with zero server goroutines remaining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		close(s.draining)
+		s.ln.Close()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,569 @@
+package server_test
+
+// Integration suite for the polystore TCP server, written to run under
+// -race: concurrent clients over a generated federation, mid-query
+// disconnects cancelling in-flight work, per-query deadline expiry,
+// admission-controller overload rejection, graceful drain, hard stop,
+// and corrupt input over raw TCP — all bracketed by a goroutine-leak
+// check so every path provably unwinds to zero server goroutines.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// leakCheck snapshots the goroutine count; its returned func polls
+// until the count returns to the baseline (a grace of 2 absorbs
+// runtime housekeeping goroutines that come and go).
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			n := runtime.NumGoroutine()
+			if n <= base+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				m := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d live, baseline %d\n%s", n, base, buf[:m])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// fedServer builds a seeded federation, loads it into a fresh
+// polystore and serves it on loopback.
+func fedServer(t *testing.T, seed int64, cfg server.Config) (*server.Server, *core.Polystore, []string) {
+	t.Helper()
+	g := core.NewFedGen(seed)
+	objs := g.Catalog()
+	p := core.New()
+	for _, o := range objs {
+		if err := o.Load(p); err != nil {
+			t.Fatalf("load %s into %s: %v", o.Name, o.Eng, err)
+		}
+	}
+	queries := g.Queries(objs, 6)
+	s, err := server.Serve(p, "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	return s, p, queries
+}
+
+// kvServer serves a minimal deterministic federation: one KV-resident
+// object, so crossQuery below always migrates (and therefore always
+// passes the cast failpoints fault tests arm).
+func kvServer(t *testing.T, cfg server.Config) (*server.Server, *core.Polystore) {
+	t.Helper()
+	p := core.New()
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("c0", engine.TypeInt),
+		engine.Col("v", engine.TypeString)))
+	for i := 0; i < 24; i++ {
+		if err := rel.Append(engine.Tuple{engine.NewInt(int64(i)), engine.NewString("x")}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := p.Load(core.EngineAccumulo, "kvobj", rel, core.CastOptions{}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	s, err := server.Serve(p, "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	return s, p
+}
+
+const crossQuery = "RELATIONAL(SELECT COUNT(*) AS n FROM CAST(kvobj, relation))"
+
+func shutdown(t *testing.T, s *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// canon renders a relation order-insensitively for comparison.
+func canon(rel *engine.Relation) string {
+	if rel == nil {
+		return "<nil>"
+	}
+	rows := make([]string, 0, rel.Len())
+	for _, tup := range rel.Tuples {
+		parts := make([]string, len(tup))
+		for i, v := range tup {
+			parts[i] = v.String()
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sort.Strings(rows)
+	return strings.Join(rel.Schema.Names(), ",") + "\n" + strings.Join(rows, "\n")
+}
+
+// TestServerMatchesInProcess pins the server's answers to the library
+// API's: every generated query must return the same rows (or an error
+// exactly when the in-process call errors) through the wire.
+func TestServerMatchesInProcess(t *testing.T) {
+	check := leakCheck(t)
+	s, p, queries := fedServer(t, 11, server.Config{})
+	want := make([]string, len(queries))
+	wantErr := make([]bool, len(queries))
+	for i, q := range queries {
+		rel, err := p.Query(q)
+		wantErr[i] = err != nil
+		if err == nil {
+			want[i] = canon(rel)
+		}
+	}
+
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx := context.Background()
+	for i, q := range queries {
+		rel, err := c.Query(ctx, q)
+		if (err != nil) != wantErr[i] {
+			t.Fatalf("query %d error divergence: server %v, in-process err=%v\n%s", i, err, wantErr[i], q)
+		}
+		if err != nil {
+			var qe *client.QueryError
+			if !errors.As(err, &qe) {
+				t.Fatalf("query %d: error %v is not a QueryError", i, err)
+			}
+			continue
+		}
+		if got := canon(rel); got != want[i] {
+			t.Fatalf("query %d diverges over the wire\nwant %s\ngot  %s\n%s", i, want[i], got, q)
+		}
+	}
+
+	// Explain carries both a report and the same relation.
+	for i, q := range queries {
+		if wantErr[i] {
+			continue
+		}
+		report, rel, err := c.Explain(ctx, q)
+		if err != nil {
+			t.Fatalf("explain %d: %v", i, err)
+		}
+		if !strings.Contains(report, "query") {
+			t.Fatalf("explain %d: report has no query span:\n%s", i, report)
+		}
+		if got := canon(rel); got != want[i] {
+			t.Fatalf("explain %d relation diverges\nwant %s\ngot  %s", i, want[i], got)
+		}
+	}
+
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, key := range []string{"server.requests", "server.connections", "query.count"} {
+		if !strings.Contains(m, key) {
+			t.Fatalf("metrics snapshot missing %s:\n%s", key, m)
+		}
+	}
+	shutdown(t, s)
+	check()
+}
+
+// TestServerCast migrates an object through the wire and verifies the
+// catalog moved.
+func TestServerCast(t *testing.T) {
+	check := leakCheck(t)
+	s, p := kvServer(t, server.Config{})
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	summary, err := c.Cast(context.Background(), "kvobj", string(core.EnginePostgres))
+	if err != nil {
+		t.Fatalf("cast: %v", err)
+	}
+	if !strings.Contains(summary, "kvobj") || !strings.Contains(summary, "postgres") {
+		t.Fatalf("cast summary lacks object/engine: %q", summary)
+	}
+	if info, ok := p.Lookup("kvobj"); !ok || info.Engine != core.EnginePostgres {
+		t.Fatalf("catalog did not move: %+v ok=%v", info, ok)
+	}
+	// Unknown object is a query error, not a dead connection.
+	if _, err := c.Cast(context.Background(), "nosuch", "postgres"); err == nil {
+		t.Fatal("cast of unknown object succeeded")
+	} else if qe := new(client.QueryError); !errors.As(err, &qe) {
+		t.Fatalf("cast of unknown object: %v is not a QueryError", err)
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("connection unusable after query error: %v", err)
+	}
+	shutdown(t, s)
+	check()
+}
+
+// TestConcurrentClients hammers one server with 64 concurrent
+// connections, each running the full generated query batch, and pins
+// every answer to the precomputed in-process result. Run under -race
+// this is the concurrency acceptance gate.
+func TestConcurrentClients(t *testing.T) {
+	check := leakCheck(t)
+	// Queue deep enough that 64 simultaneous arrivals are admitted (the
+	// admission controller's rejection path has its own test below).
+	s, p, queries := fedServer(t, 7, server.Config{MaxQueue: 128})
+	want := make([]string, len(queries))
+	wantErr := make([]bool, len(queries))
+	for i, q := range queries {
+		rel, err := p.Query(q)
+		wantErr[i] = err != nil
+		if err == nil {
+			want[i] = canon(rel)
+		}
+	}
+
+	const clients = 64
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for n := 0; n < clients; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c, err := client.Dial(s.Addr().String())
+			if err != nil {
+				errs <- fmt.Errorf("client %d dial: %w", n, err)
+				return
+			}
+			defer func() { _ = c.Close() }()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for i, q := range queries {
+				rel, err := c.Query(ctx, q)
+				if (err != nil) != wantErr[i] {
+					errs <- fmt.Errorf("client %d query %d error divergence: %v", n, i, err)
+					return
+				}
+				if err == nil && canon(rel) != want[i] {
+					errs <- fmt.Errorf("client %d query %d result divergence", n, i)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	shutdown(t, s)
+	check()
+}
+
+// TestMidQueryDisconnect arms a delay on the cast dump failpoint, sends
+// a slow cross-island query, then drops the connection mid-flight. The
+// server must cancel the in-flight query context, roll the migration
+// back, unwind without leaking, and keep serving other clients.
+func TestMidQueryDisconnect(t *testing.T) {
+	check := leakCheck(t)
+	s, p := kvServer(t, server.Config{})
+	fault.Arm(fault.Spec{Point: core.FpCastDump, Mode: fault.ModeDelay, Delay: 400 * time.Millisecond, Times: -1})
+	defer fault.Reset()
+
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(), crossQuery)
+		done <- err
+	}()
+	// Wait until the query holds its execution slot, then vanish.
+	waitFor(t, time.Second, func() bool { return s.AdmissionExecuting() == 1 })
+	_ = c.Close()
+	if err := <-done; err == nil {
+		t.Fatal("query on severed connection returned a result to the client")
+	}
+	// The in-flight slot must free (the query context was cancelled and
+	// the pipeline unwound), and the migration must have rolled back.
+	waitFor(t, 5*time.Second, func() bool { return s.AdmissionExecuting() == 0 })
+	if info, ok := p.Lookup("kvobj"); !ok || info.Engine != core.EngineAccumulo {
+		t.Fatalf("disconnect leaked migration state: %+v ok=%v", info, ok)
+	}
+	fault.Reset()
+
+	c2, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after disconnect: %v", err)
+	}
+	defer func() { _ = c2.Close() }()
+	if rel, err := c2.Query(context.Background(), crossQuery); err != nil || rel.Len() != 1 {
+		t.Fatalf("server unhealthy after disconnect: rel=%v err=%v", rel, err)
+	}
+	shutdown(t, s)
+	check()
+}
+
+// TestDeadlineExpiry sends a query whose per-request deadline is far
+// shorter than the armed cast delay: the server must answer with the
+// typed deadline error and the connection must remain usable.
+func TestDeadlineExpiry(t *testing.T) {
+	check := leakCheck(t)
+	s, _ := kvServer(t, server.Config{})
+	fault.Arm(fault.Spec{Point: core.FpCastDump, Mode: fault.ModeDelay, Delay: 300 * time.Millisecond, Times: -1})
+	defer fault.Reset()
+
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	_, err = c.Query(ctx, crossQuery)
+	cancel()
+	if !errors.Is(err, client.ErrDeadline) {
+		t.Fatalf("expected ErrDeadline, got %v", err)
+	}
+	// Same budget through the cast opcode.
+	ctx, cancel = context.WithTimeout(context.Background(), 50*time.Millisecond)
+	_, err = c.Cast(ctx, "kvobj", "postgres")
+	cancel()
+	if !errors.Is(err, client.ErrDeadline) {
+		t.Fatalf("cast: expected ErrDeadline, got %v", err)
+	}
+	fault.Reset()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("connection unusable after deadline errors: %v", err)
+	}
+	shutdown(t, s)
+	check()
+}
+
+// TestOverloadRejection pins the admission controller's bounded-queue
+// semantics: with one slot and one queue place, a third concurrent
+// request is rejected immediately with the typed overload error.
+func TestOverloadRejection(t *testing.T) {
+	check := leakCheck(t)
+	s, _ := kvServer(t, server.Config{MaxConcurrent: 1, MaxQueue: 1})
+	fault.Arm(fault.Spec{Point: core.FpCastDump, Mode: fault.ModeDelay, Delay: 500 * time.Millisecond, Times: -1})
+	defer fault.Reset()
+
+	dial := func() *client.Client {
+		c, err := client.Dial(s.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		return c
+	}
+	c1, c2, c3 := dial(), dial(), dial()
+	defer func() { _ = c1.Close() }()
+	defer func() { _ = c2.Close() }()
+	defer func() { _ = c3.Close() }()
+
+	r1 := make(chan error, 1)
+	go func() { _, err := c1.Query(context.Background(), crossQuery); r1 <- err }()
+	waitFor(t, time.Second, func() bool { return s.AdmissionExecuting() == 1 })
+
+	r2 := make(chan error, 1)
+	go func() { _, err := c2.Query(context.Background(), crossQuery); r2 <- err }()
+	waitFor(t, time.Second, func() bool { return s.AdmissionQueued() == 1 })
+
+	// Slot busy, queue full: this one must bounce, fast.
+	start := time.Now()
+	_, err := c3.Query(context.Background(), crossQuery)
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("expected ErrOverloaded, got %v", err)
+	}
+	if d := time.Since(start); d > 250*time.Millisecond {
+		t.Fatalf("overload rejection took %v — it queued instead of bouncing", d)
+	}
+	// The occupant and the queued request both complete normally.
+	if err := <-r1; err != nil {
+		t.Fatalf("occupant query failed: %v", err)
+	}
+	if err := <-r2; err != nil {
+		t.Fatalf("queued query failed: %v", err)
+	}
+	shutdown(t, s)
+	check()
+}
+
+// TestGracefulDrain starts a slow query, then shuts down: the in-flight
+// query must complete and deliver its result, idle connections must
+// close, new dials must fail, and no goroutine may survive.
+func TestGracefulDrain(t *testing.T) {
+	check := leakCheck(t)
+	s, _ := kvServer(t, server.Config{})
+	fault.Arm(fault.Spec{Point: core.FpCastDump, Mode: fault.ModeDelay, Delay: 300 * time.Millisecond, Times: -1})
+	defer fault.Reset()
+
+	busy, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = busy.Close() }()
+	idle, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial idle: %v", err)
+	}
+	defer func() { _ = idle.Close() }()
+
+	type result struct {
+		rel *engine.Relation
+		err error
+	}
+	r := make(chan result, 1)
+	go func() {
+		rel, err := busy.Query(context.Background(), crossQuery)
+		r <- result{rel, err}
+	}()
+	waitFor(t, time.Second, func() bool { return s.AdmissionExecuting() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	res := <-r
+	if res.err != nil || res.rel == nil || res.rel.Len() != 1 {
+		t.Fatalf("in-flight query did not survive drain: rel=%v err=%v", res.rel, res.err)
+	}
+	if err := idle.Ping(context.Background()); err == nil {
+		t.Fatal("idle connection survived drain")
+	}
+	if _, err := client.Dial(s.Addr().String()); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+	check()
+}
+
+// TestHardStop gives Shutdown an already-tight deadline while a slow
+// query is in flight: the query context is severed, the client loses
+// the connection, and the server still unwinds to zero goroutines.
+func TestHardStop(t *testing.T) {
+	check := leakCheck(t)
+	s, p := kvServer(t, server.Config{})
+	fault.Arm(fault.Spec{Point: core.FpCastDump, Mode: fault.ModeDelay, Delay: 500 * time.Millisecond, Times: -1})
+	defer fault.Reset()
+
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	r := make(chan error, 1)
+	go func() { _, err := c.Query(context.Background(), crossQuery); r <- err }()
+	waitFor(t, time.Second, func() bool { return s.AdmissionExecuting() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hard stop: got %v, want deadline exceeded", err)
+	}
+	if err := <-r; err == nil {
+		t.Fatal("severed query returned a result")
+	}
+	// Atomic casts guarantee the severed migration left no trace.
+	if info, ok := p.Lookup("kvobj"); !ok || info.Engine != core.EngineAccumulo {
+		t.Fatalf("hard stop leaked migration state: %+v ok=%v", info, ok)
+	}
+	check()
+}
+
+// TestCorruptInputOverTCP speaks raw bytes to the listener: framing
+// violations must each earn a typed bad-request error frame followed by
+// connection close — no panic, no hang, no leak.
+func TestCorruptInputOverTCP(t *testing.T) {
+	check := leakCheck(t)
+	s, _ := kvServer(t, server.Config{})
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad magic", []byte{0xde, 0xad, 0xbe, 0xef, 1, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"garbage opcode", []byte{0x42, 0x44, 0x57, 0x51, 99, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"oversized declared length", []byte{0x42, 0x44, 0x57, 0x51, 1, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}},
+		{"truncated frame", []byte{0x42, 0x44, 0x57}},
+	}
+	for _, tc := range cases {
+		conn, err := net.Dial("tcp", s.Addr().String())
+		if err != nil {
+			t.Fatalf("%s: dial: %v", tc.name, err)
+		}
+		conn.SetDeadline(time.Now().Add(5 * time.Second))
+		if _, err := conn.Write(tc.data); err != nil {
+			t.Fatalf("%s: write: %v", tc.name, err)
+		}
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			tcp.CloseWrite() // half-close so truncation is visible server-side
+		}
+		resp, err := server.ReadResponse(conn)
+		if err != nil {
+			t.Fatalf("%s: no error frame before close: %v", tc.name, err)
+		}
+		if resp.Status != server.StatusError || resp.Code != server.CodeBadRequest {
+			t.Fatalf("%s: got status %d code %d, want bad-request error", tc.name, resp.Status, resp.Code)
+		}
+		// After the reply the server must close; the next read is EOF.
+		if _, err := server.ReadResponse(conn); err == nil {
+			t.Fatalf("%s: connection stayed open after protocol error", tc.name)
+		}
+		conn.Close()
+	}
+
+	// A clean immediate close is not a protocol error and leaves no debris.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	_ = conn.Close()
+
+	// The server still works.
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after corruption: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after corruption: %v", err)
+	}
+	shutdown(t, s)
+	check()
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
