@@ -21,6 +21,10 @@
 #   ./bench.sh --serve        # fixed-duration server load smoke via the
 #                             # bigdawg -bench-serve driver, write
 #                             # BENCH_serve.json (QPS, p50/p95/p99)
+#   ./bench.sh --shard        # shard-scaling sweep: the same table
+#                             # partitioned across 1/2/4 in-process BDWQ
+#                             # shard servers behind a coordinator, write
+#                             # BENCH_shard.json (QPS/p99 vs shard count)
 #
 # Every mode fails loudly: a benchmark that does not build, errors out,
 # or produces zero parseable entries exits non-zero — an empty or
@@ -167,6 +171,27 @@ if [[ "${1:-}" == "--serve" ]]; then
     -bench-clients "$SERVE_CLIENTS" -bench-duration "$SERVE_DURATION" \
     -bench-out "$OUT_SERVE" \
     -bench-max-p99 "$SERVE_MAX_P99" -bench-max-error-rate "$SERVE_MAX_ERROR_RATE"
+  exit 0
+fi
+
+# --shard: the shard-scaling sweep. The bigdawg -bench-shard driver
+# builds the same seeded table partitioned across SHARD_COUNTS
+# in-process shard servers behind a scatter-gather coordinator and
+# drives scatter-shaped queries (filtered COUNT, pushed-down GROUP BY)
+# through real clients, verifying every answer. BENCH_shard.json holds
+# one entry per shard count — the scaling curve. Absolute QPS and its
+# slope are machine-dependent (a single-core box cannot scale), so CI
+# gates shape and error_rate, not throughput.
+if [[ "${1:-}" == "--shard" ]]; then
+  OUT_SHARD="${OUT_SHARD:-BENCH_shard.json}"
+  SHARD_ROWS="${SHARD_ROWS:-100000}"
+  SHARD_COUNTS="${SHARD_COUNTS:-1,2,4}"
+  SHARD_CLIENTS="${SHARD_CLIENTS:-8}"
+  SHARD_DURATION="${SHARD_DURATION:-2s}"
+  go run ./cmd/bigdawg -bench-shard \
+    -bench-shard-rows "$SHARD_ROWS" -bench-shard-counts "$SHARD_COUNTS" \
+    -bench-shard-clients "$SHARD_CLIENTS" -bench-shard-duration "$SHARD_DURATION" \
+    -bench-shard-out "$OUT_SHARD"
   exit 0
 fi
 

@@ -1,0 +1,238 @@
+package main
+
+// The -bench-shard mode: the shard-scaling benchmark behind
+// bench.sh --shard. For each shard count in the sweep it builds the
+// same large table, partitions it across that many in-process BDWQ
+// shard servers behind a coordinator, hammers the coordinator with
+// closed-loop clients running scatter-shaped queries (a filtered scan
+// count and a pushed-down grouped aggregate), and records QPS plus
+// latency quantiles. BENCH_shard.json holds one entry per shard count
+// — the scaling curve PR over PR. Queries are verified for the right
+// answer on every response: a fast wrong scatter must fail the run,
+// not flatter it.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/shard"
+)
+
+var (
+	benchShard     = flag.Bool("bench-shard", false, "run the shard-scaling benchmark instead of the shell")
+	benchShardRows = flag.Int("bench-shard-rows", 100000, "rows in the partitioned table")
+	benchShardSet  = flag.String("bench-shard-counts", "1,2,4", "comma-separated shard counts to sweep")
+	benchShardCli  = flag.Int("bench-shard-clients", 8, "concurrent client connections")
+	benchShardDur  = flag.Duration("bench-shard-duration", 2*time.Second, "load duration per shard count")
+	benchShardOut  = flag.String("bench-shard-out", "BENCH_shard.json", "result JSON path")
+)
+
+// shardBenchEntry is one shard count's row in BENCH_shard.json.
+type shardBenchEntry struct {
+	Name      string  `json:"name"`
+	Shards    int     `json:"shards"`
+	Rows      int     `json:"rows"`
+	Clients   int     `json:"clients"`
+	DurationS float64 `json:"duration_s"`
+	Requests  int64   `json:"requests"`
+	OK        int64   `json:"ok"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// shardBenchTable builds the workload table: a dense INT key, a
+// low-cardinality group column and a float measure — seeded, so every
+// shard count sweeps the identical data.
+func shardBenchTable(rows int) *engine.Relation {
+	rng := rand.New(rand.NewSource(42))
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("k", engine.TypeInt),
+		engine.Col("g", engine.TypeString),
+		engine.Col("v", engine.TypeFloat)))
+	for i := 0; i < rows; i++ {
+		_ = rel.Append(engine.Tuple{
+			engine.NewInt(int64(i)),
+			engine.NewString(fmt.Sprintf("g%d", i%8)),
+			engine.NewFloat(rng.Float64()),
+		})
+	}
+	return rel
+}
+
+// shardBenchTopology serves the table partitioned n ways and returns
+// the coordinator address plus a teardown.
+func shardBenchTopology(rel *engine.Relation, n int) (addr string, teardown func(), err error) {
+	spec := shard.HashSpec("k", n)
+	parts, err := shard.Split(rel, spec)
+	if err != nil {
+		return "", nil, err
+	}
+	var srvs []*server.Server
+	var eps []*client.Endpoint
+	stop := func() {
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+		for _, s := range srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = s.Shutdown(ctx)
+			cancel()
+		}
+	}
+	coord := core.New()
+	ifaces := make([]core.ShardEndpoint, 0, n)
+	idx := make([]int, 0, n)
+	for i, part := range parts {
+		sp := core.New()
+		if err := sp.Load(core.EnginePostgres, "big", part, core.CastOptions{}); err != nil {
+			stop()
+			return "", nil, fmt.Errorf("shard %d load: %w", i, err)
+		}
+		s, err := server.Serve(sp, "127.0.0.1:0", server.Config{})
+		if err != nil {
+			stop()
+			return "", nil, fmt.Errorf("shard %d serve: %w", i, err)
+		}
+		srvs = append(srvs, s)
+		ep := client.NewEndpoint(s.Addr().String())
+		eps = append(eps, ep)
+		ifaces = append(ifaces, ep)
+		idx = append(idx, i)
+	}
+	coord.SetShardEndpoints(ifaces...)
+	if err := coord.RegisterSharded("big", spec, rel.Schema, idx...); err != nil {
+		stop()
+		return "", nil, err
+	}
+	cs, err := server.Serve(coord, "127.0.0.1:0", server.Config{MaxQueue: 2 * *benchShardCli})
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	srvs = append(srvs, cs)
+	return cs.Addr().String(), stop, nil
+}
+
+func runBenchShard() error {
+	rel := shardBenchTable(*benchShardRows)
+	// The expected answers, for verifying every benchmarked response.
+	wantCount := int64(0)
+	for _, t := range rel.Tuples {
+		if t[2].AsFloat() > 0.5 {
+			wantCount++
+		}
+	}
+	queries := []struct {
+		q     string
+		check func(r *engine.Relation) bool
+	}{
+		{"RELATIONAL(SELECT COUNT(*) AS n FROM big WHERE v > 0.5)",
+			func(r *engine.Relation) bool { return r.Len() == 1 && r.Tuples[0][0].AsInt() == wantCount }},
+		{"RELATIONAL(SELECT g, COUNT(*) AS n FROM big GROUP BY g)",
+			func(r *engine.Relation) bool { return r.Len() == 8 }},
+	}
+
+	var counts []int
+	for _, part := range strings.Split(*benchShardSet, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bench-shard: bad shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+
+	entries := make([]shardBenchEntry, 0, len(counts))
+	for _, n := range counts {
+		addr, teardown, err := shardBenchTopology(rel, n)
+		if err != nil {
+			return fmt.Errorf("bench-shard: shards=%d: %w", n, err)
+		}
+		reg := metrics.NewRegistry()
+		lat := reg.Histogram("bench.latency")
+		var okN, errN atomic.Int64
+		fmt.Printf("bench-shard: %d clients × %s against %d rows over %d shard(s)\n",
+			*benchShardCli, *benchShardDur, *benchShardRows, n)
+		deadline := time.Now().Add(*benchShardDur)
+		var wg sync.WaitGroup
+		for w := 0; w < *benchShardCli; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, err := client.Dial(addr)
+				if err != nil {
+					errN.Add(1)
+					return
+				}
+				defer func() { _ = c.Close() }()
+				for i := w; time.Now().Before(deadline); i++ {
+					q := queries[i%len(queries)]
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					start := time.Now()
+					r, err := c.Query(ctx, q.q)
+					cancel()
+					if err != nil || !q.check(r) {
+						errN.Add(1)
+						continue
+					}
+					okN.Add(1)
+					lat.Observe(time.Since(start))
+				}
+			}(w)
+		}
+		wg.Wait()
+		teardown()
+
+		total := okN.Load() + errN.Load()
+		e := shardBenchEntry{
+			Name:      fmt.Sprintf("shards=%d", n),
+			Shards:    n,
+			Rows:      *benchShardRows,
+			Clients:   *benchShardCli,
+			DurationS: benchShardDur.Seconds(),
+			Requests:  total,
+			OK:        okN.Load(),
+			Errors:    errN.Load(),
+			QPS:       float64(okN.Load()) / benchShardDur.Seconds(),
+			P50Ms:     float64(lat.P50()) / float64(time.Millisecond),
+			P95Ms:     float64(lat.P95()) / float64(time.Millisecond),
+			P99Ms:     float64(lat.P99()) / float64(time.Millisecond),
+		}
+		if total > 0 {
+			e.ErrorRate = float64(e.Errors) / float64(total)
+		}
+		if e.OK == 0 {
+			return fmt.Errorf("bench-shard: shards=%d completed zero correct queries (%d errors)", n, e.Errors)
+		}
+		fmt.Printf("bench-shard: shards=%d: %d ok (%d errors), %.0f qps, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+			n, e.OK, e.Errors, e.QPS, e.P50Ms, e.P95Ms, e.P99Ms)
+		entries = append(entries, e)
+	}
+
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*benchShardOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench-shard: wrote %d entries to %s\n", len(entries), *benchShardOut)
+	return nil
+}

@@ -6,7 +6,10 @@
 //
 //	bigdawg [-patients 200] [-monitor :6060] [-slow 50ms]
 //	bigdawg -serve :4250 [-max-concurrent 16] [-max-queue 32] [-drain-timeout 15s]
+//	bigdawg -serve :4251 -shard 0/2                      — shard server 0 of 2
+//	bigdawg -serve :4250 -join 127.0.0.1:4251,127.0.0.1:4252 — scatter-gather coordinator
 //	bigdawg -bench-serve [-bench-clients 64] [-bench-duration 3s] [-bench-out BENCH_serve.json]
+//	bigdawg -bench-shard [-bench-shard-counts 1,2,4] [-bench-shard-out BENCH_shard.json]
 //	> POSTGRES(SELECT COUNT(*) FROM patients)
 //	> RELATIONAL(SELECT * FROM CAST(waveforms, relation) WHERE v > 1.5 LIMIT 5)
 //	> TEXT(search(notes, 'very sick', 3))
@@ -26,8 +29,13 @@
 //
 // -serve swaps the shell for the TCP server (serve.go): the same
 // federation, the same -monitor endpoint, but queries arrive over the
-// BDWQ wire protocol. -bench-serve runs the closed-loop load driver
-// (benchserve.go) against an in-process server and exits.
+// BDWQ wire protocol. -shard/-join (shard.go) turn a set of such
+// servers into a sharded federation: N shard servers each holding one
+// hash partition of every relational table, and a coordinator that
+// scatters queries across them and merges. -bench-serve runs the
+// closed-loop load driver (benchserve.go) against an in-process server
+// and exits; -bench-shard sweeps the coordinator + N shards topology
+// across shard counts and writes the scaling curve (benchshard.go).
 package main
 
 import (
@@ -60,6 +68,12 @@ func main() {
 		}
 		return
 	}
+	if *benchShard {
+		if err := runBenchShard(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := mimic.DefaultConfig()
 	cfg.Patients = *patients
@@ -69,6 +83,9 @@ func main() {
 		log.Fatal(err)
 	}
 	p := sys.Poly
+	if err := applyTopology(p); err != nil {
+		log.Fatal(err)
+	}
 
 	if *monitorAddr != "" {
 		if err := p.Metrics.PublishExpvar("bigdawg"); err != nil {

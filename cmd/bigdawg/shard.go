@@ -1,0 +1,142 @@
+package main
+
+// The -shard/-join topology flags: one bigdawg binary plays either
+// role of a sharded federation. `-shard K/N` keeps only this node's
+// hash partition of every relational demo table (the physical shard
+// server); `-join a,b,c` drops the local copies and registers each
+// relational table as partitioned across those N shard servers, making
+// this node the scatter-gather coordinator. Both sides derive the same
+// deterministic spec — hash on the table's first column, N partitions
+// — from the same demo dataset, so no placement metadata needs to be
+// exchanged.
+//
+//	bigdawg -serve :4251 -shard 0/2     # shard server 0
+//	bigdawg -serve :4252 -shard 1/2     # shard server 1
+//	bigdawg -serve :4250 -join 127.0.0.1:4251,127.0.0.1:4252
+//
+// The coordinator answers SCOPE queries over the full logical tables;
+// bodies touching a partitioned table fan out over the BDWQ protocol
+// and merge. Non-relational demo objects (arrays, KV, streams) stay
+// local to the coordinator.
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/server/client"
+	"repro/internal/shard"
+)
+
+var (
+	shardOf = flag.String("shard", "",
+		"serve as shard K/N: keep only this node's hash partition of every relational table")
+	joinAddrs = flag.String("join", "",
+		"comma-separated shard server addresses: act as the scatter-gather coordinator over them")
+)
+
+// applyTopology rewires the loaded federation according to -shard/-join
+// before the shell or server starts.
+func applyTopology(p *core.Polystore) error {
+	switch {
+	case *shardOf != "" && *joinAddrs != "":
+		return fmt.Errorf("-shard and -join are mutually exclusive: a node is a shard or the coordinator")
+	case *shardOf != "":
+		return applyShardRole(p, *shardOf)
+	case *joinAddrs != "":
+		return applyCoordinatorRole(p, *joinAddrs)
+	}
+	return nil
+}
+
+// relationalObjects lists the catalog's EnginePostgres objects — the
+// tables the topology partitions.
+func relationalObjects(p *core.Polystore) []core.ObjectInfo {
+	var objs []core.ObjectInfo
+	for _, o := range p.Objects() {
+		if o.Engine == core.EnginePostgres {
+			objs = append(objs, o)
+		}
+	}
+	return objs
+}
+
+// dropLocal removes an object from the catalog and its relational
+// storage, making room for a partition or a placement under the same
+// name.
+func dropLocal(p *core.Polystore, o core.ObjectInfo) {
+	p.Deregister(o.Name)
+	_ = p.Relational.DropTable(o.Physical)
+}
+
+func applyShardRole(p *core.Polystore, kn string) error {
+	k, n, err := parseShardOf(kn)
+	if err != nil {
+		return err
+	}
+	for _, o := range relationalObjects(p) {
+		rel, err := p.Dump(o.Name)
+		if err != nil {
+			return fmt.Errorf("shard %s: dump %s: %w", kn, o.Name, err)
+		}
+		spec := shard.HashSpec(rel.Schema.Columns[0].Name, n)
+		parts, err := shard.Split(rel, spec)
+		if err != nil {
+			return fmt.Errorf("shard %s: split %s: %w", kn, o.Name, err)
+		}
+		dropLocal(p, o)
+		if err := p.Load(core.EnginePostgres, o.Name, parts[k], core.CastOptions{}); err != nil {
+			return fmt.Errorf("shard %s: load partition of %s: %w", kn, o.Name, err)
+		}
+		fmt.Printf("shard %d/%d: %s holds %d of %d rows (hash on %s)\n",
+			k, n, o.Name, parts[k].Len(), rel.Len(), spec.Key)
+	}
+	return nil
+}
+
+func applyCoordinatorRole(p *core.Polystore, addrList string) error {
+	addrs := strings.Split(addrList, ",")
+	eps := make([]core.ShardEndpoint, 0, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return fmt.Errorf("-join: empty shard address in %q", addrList)
+		}
+		eps = append(eps, client.NewEndpoint(a))
+	}
+	p.SetShardEndpoints(eps...)
+	idx := make([]int, len(eps))
+	for i := range idx {
+		idx[i] = i
+	}
+	for _, o := range relationalObjects(p) {
+		rel, err := p.Dump(o.Name)
+		if err != nil {
+			return fmt.Errorf("-join: dump %s: %w", o.Name, err)
+		}
+		spec := shard.HashSpec(rel.Schema.Columns[0].Name, len(eps))
+		dropLocal(p, o)
+		if err := p.RegisterSharded(o.Name, spec, rel.Schema, idx...); err != nil {
+			return fmt.Errorf("-join: register %s: %w", o.Name, err)
+		}
+		fmt.Printf("coordinator: %s partitioned %d ways (hash on %s)\n",
+			o.Name, len(eps), spec.Key)
+	}
+	return nil
+}
+
+// parseShardOf parses "K/N" with 0 <= K < N.
+func parseShardOf(s string) (k, n int, err error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-shard wants K/N (e.g. 0/2), got %q", s)
+	}
+	k, kerr := strconv.Atoi(parts[0])
+	n, nerr := strconv.Atoi(parts[1])
+	if kerr != nil || nerr != nil || n <= 0 || k < 0 || k >= n {
+		return 0, 0, fmt.Errorf("-shard wants K/N with 0 <= K < N, got %q", s)
+	}
+	return k, n, nil
+}

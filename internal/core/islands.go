@@ -65,19 +65,7 @@ func (p *Polystore) QueryCtx(ctx context.Context, q string) (*engine.Relation, e
 	class := classifyBody(sq.island, sq.body)
 	qspan.SetStr("island", string(sq.island))
 	qspan.SetStr("class", string(class))
-	plctx, plspan := trace.Start(ctx, "plan")
-	body, temps, err := p.prepareBody(plctx, sq.island, sq.body)
-	plspan.End()
-	defer p.dropTempObjects(temps)
-	if err == nil {
-		err = ctx.Err()
-	}
-	var rel *engine.Relation
-	if err == nil {
-		ectx, espan := trace.Start(ctx, "execute")
-		rel, err = p.dispatch(ectx, sq.island, body)
-		espan.End()
-	}
+	rel, err := p.executeBody(ctx, sq.island, sq.body)
 	if err != nil {
 		p.om.queryErrors.Inc()
 		return nil, err
@@ -92,6 +80,36 @@ func (p *Polystore) QueryCtx(ctx context.Context, q string) (*engine.Relation, e
 	}
 	p.observeQuery(sq.island, class, sq.body, elapsed)
 	return rel, nil
+}
+
+// executeBody routes a raw (SCOPE-stripped) body: bodies that mention
+// sharded objects take the scatter-gather path (scatter.go); everything
+// else plans and executes locally.
+func (p *Polystore) executeBody(ctx context.Context, island Island, body string) (*engine.Relation, error) {
+	if names := p.shardedRefs(body); len(names) > 0 {
+		return p.scatterExecute(ctx, island, body, names)
+	}
+	return p.executeLocal(ctx, island, body)
+}
+
+// executeLocal is the single-node execution path: plan (CAST pushdown,
+// cast resolution), reclaim the query's temp objects, and dispatch the
+// prepared body to its island.
+func (p *Polystore) executeLocal(ctx context.Context, island Island, body string) (*engine.Relation, error) {
+	plctx, plspan := trace.Start(ctx, "plan")
+	prepared, temps, err := p.prepareBody(plctx, island, body)
+	plspan.End()
+	defer p.dropTempObjects(temps)
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
+	ectx, espan := trace.Start(ctx, "execute")
+	rel, err := p.dispatch(ectx, island, prepared)
+	espan.End()
+	return rel, err
 }
 
 // dispatch routes a prepared body to its island.

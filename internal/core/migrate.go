@@ -111,6 +111,21 @@ func (p *Polystore) Cast(object string, to EngineKind, opts CastOptions) (CastRe
 // exponential backoff within the polystore's RetryPolicy; each retry
 // restarts from a clean slate.
 func (p *Polystore) CastCtx(ctx context.Context, object string, to EngineKind, opts CastOptions) (CastResult, error) {
+	// A sharded source is first gathered from its shards into a local
+	// temp copy (original row order restored), then cast normally; the
+	// temp is reclaimed before returning.
+	if _, sharded := p.placementOf(object); sharded {
+		tmp, err := p.gatherToTemp(ctx, object)
+		if tmp != "" {
+			defer p.dropTempObjects([]string{tmp})
+		}
+		if err != nil {
+			return CastResult{Object: object, From: EnginePostgres, To: to}, err
+		}
+		res, err := p.CastCtx(ctx, tmp, to, opts)
+		res.Object = object
+		return res, err
+	}
 	start := time.Now()
 	info, ok := p.Lookup(object)
 	if !ok {

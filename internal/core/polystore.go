@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -69,12 +70,14 @@ type Polystore struct {
 	// instrumentation sites never pay a map lookup or a name build.
 	om polyMetrics
 
-	mu       sync.RWMutex
-	catalog  map[string]ObjectInfo
-	tile     map[string]*tiledb.Array
-	tempSeq  int
-	pushdown bool
-	retry    RetryPolicy
+	mu         sync.RWMutex
+	catalog    map[string]ObjectInfo
+	tile       map[string]*tiledb.Array
+	tempSeq    int
+	pushdown   bool
+	retry      RetryPolicy
+	shardEps   []ShardEndpoint
+	placements map[string]Placement
 }
 
 // polyMetrics is the set of pre-resolved metric handles the execution
@@ -97,6 +100,10 @@ type polyMetrics struct {
 	castRowsMoved   *metrics.Counter
 	castPushed      *metrics.Counter
 	castFull        *metrics.Counter
+
+	scatterCount  *metrics.Counter
+	scatterPushed *metrics.Counter
+	scatterGather *metrics.Counter
 }
 
 func newPolyMetrics(r *metrics.Registry) polyMetrics {
@@ -116,6 +123,10 @@ func newPolyMetrics(r *metrics.Registry) polyMetrics {
 		castRowsMoved:   r.Counter("cast.rows_moved"),
 		castPushed:      r.Counter("cast.pushed"),
 		castFull:        r.Counter("cast.full"),
+
+		scatterCount:  r.Counter("scatter.count"),
+		scatterPushed: r.Counter("scatter.pushdown"),
+		scatterGather: r.Counter("scatter.gather"),
 	}
 	for _, isl := range []Island{IslandRelational, IslandArray, IslandD4M, IslandMyria,
 		IslandPostgres, IslandSciDB, IslandAccumulo, IslandSStore} {
@@ -149,6 +160,7 @@ func New() *Polystore {
 		om:         newPolyMetrics(reg),
 		catalog:    map[string]ObjectInfo{},
 		tile:       map[string]*tiledb.Array{},
+		placements: map[string]Placement{},
 		pushdown:   true,
 	}
 	// Pull gauges: the engines keep their own atomic stats; the registry
@@ -292,8 +304,12 @@ func (p *Polystore) tempName(prefix string) string {
 }
 
 // Dump exports any catalog object as a relation, whatever engine it
-// lives in — the universal egress half of CAST.
+// lives in — the universal egress half of CAST. Sharded objects are
+// gathered from their shards in original row order.
 func (p *Polystore) Dump(name string) (*engine.Relation, error) {
+	if _, sharded := p.placementOf(name); sharded {
+		return p.gatherObject(context.Background(), name)
+	}
 	info, ok := p.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown object %q", name)

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// localShard adapts an in-process polystore to ShardEndpoint, so the
+// scatter executor can be exercised without a network. The BDWQ client
+// satisfies the same interface; the TCP topology is covered by the
+// server integration tests.
+type localShard struct{ p *Polystore }
+
+func (e localShard) Query(ctx context.Context, q string) (*engine.Relation, error) {
+	return e.p.QueryCtx(ctx, q)
+}
+
+// scatterFixture is a baseline polystore holding the unsharded table
+// plus a coordinator whose copy of the same table is partitioned across
+// in-process shard polystores.
+type scatterFixture struct {
+	baseline *Polystore
+	coord    *Polystore
+	shards   []*Polystore
+}
+
+func scatterTable() *engine.Relation {
+	rel := engine.NewRelation(engine.Schema{Columns: []engine.Column{
+		engine.Col("c0", engine.TypeInt),
+		engine.Col("c1", engine.TypeInt),
+		engine.Col("c2", engine.TypeString),
+		engine.Col("c3", engine.TypeFloat),
+	}})
+	groups := []string{"a", "b", "c"}
+	for i := 0; i < 37; i++ {
+		v3 := engine.NewFloat(float64(i) * 1.5)
+		if i%7 == 0 {
+			v3 = engine.Null
+		}
+		_ = rel.Append(engine.Tuple{
+			engine.NewInt(int64(i)),
+			engine.NewInt(int64((i * 13) % 50)),
+			engine.NewString(groups[i%len(groups)]),
+			v3,
+		})
+	}
+	return rel
+}
+
+func newScatterFixture(t *testing.T, spec shard.Spec) *scatterFixture {
+	t.Helper()
+	rel := scatterTable()
+	fx := &scatterFixture{baseline: New(), coord: New()}
+	if err := fx.baseline.Load(EnginePostgres, "st", rel, CastOptions{}); err != nil {
+		t.Fatalf("baseline load: %v", err)
+	}
+	parts, err := shard.Split(rel, spec)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	eps := make([]ShardEndpoint, len(parts))
+	idx := make([]int, len(parts))
+	for i, part := range parts {
+		sp := New()
+		if err := sp.Load(EnginePostgres, "st", part, CastOptions{}); err != nil {
+			t.Fatalf("shard %d load: %v", i, err)
+		}
+		fx.shards = append(fx.shards, sp)
+		eps[i] = localShard{sp}
+		idx[i] = i
+	}
+	fx.coord.SetShardEndpoints(eps...)
+	if err := fx.coord.RegisterSharded("st", spec, rel.Schema, idx...); err != nil {
+		t.Fatalf("register sharded: %v", err)
+	}
+	return fx
+}
+
+// canonOrdered renders a relation order-sensitively: scatter-gather
+// promises not just the same rows but the same row order as the
+// unsharded baseline (downstream array casts derive coordinates from
+// row position).
+func canonOrdered(rel *engine.Relation) string {
+	var sb strings.Builder
+	for _, c := range rel.Schema.Columns {
+		fmt.Fprintf(&sb, "%s:%v|", strings.ToLower(c.Name), c.Type)
+	}
+	for _, row := range rel.Tuples {
+		sb.WriteByte('\n')
+		for _, v := range row {
+			fmt.Fprintf(&sb, "%d:%s\x1f", v.Kind, v.String())
+		}
+	}
+	return sb.String()
+}
+
+var scatterQueries = []string{
+	// Pushdown-eligible plain shapes.
+	"RELATIONAL(SELECT * FROM st)",
+	"RELATIONAL(SELECT c0, c2 FROM st WHERE c1 > 25)",
+	"RELATIONAL(SELECT c0 AS id, c1 + 1 FROM st WHERE c2 = 'a')",
+	"POSTGRES(SELECT * FROM st WHERE c3 IS NULL)",
+	"RELATIONAL(SELECT * FROM CAST(st, relation) WHERE c1 BETWEEN 10 AND 40)",
+	// Pushdown-eligible aggregates (partial-state merge).
+	"RELATIONAL(SELECT COUNT(*) AS n FROM st)",
+	"RELATIONAL(SELECT COUNT(*) AS n, SUM(c1) AS s, MIN(c1) AS lo, MAX(c1) AS hi FROM st)",
+	"RELATIONAL(SELECT SUM(c3) AS s, MIN(c3) AS lo FROM st)",
+	"RELATIONAL(SELECT c2, COUNT(*) AS n, SUM(c3) AS s FROM st GROUP BY c2)",
+	"RELATIONAL(SELECT c2, MIN(c1) FROM st WHERE c0 > 3 GROUP BY c2)",
+	// Gather-fallback shapes.
+	"RELATIONAL(SELECT c0 FROM st ORDER BY c1, c0)",
+	"RELATIONAL(SELECT DISTINCT c2 FROM st)",
+	"RELATIONAL(SELECT AVG(c1) AS a, STDDEV(c1) AS sd FROM st)",
+	"RELATIONAL(SELECT c2, COUNT(*) AS n FROM st GROUP BY c2 HAVING COUNT(*) > 10)",
+	"RELATIONAL(SELECT c0, c1 FROM st ORDER BY c0 LIMIT 5)",
+	"RELATIONAL(SELECT COUNT(DISTINCT c2) AS n FROM st)",
+	"RELATIONAL(SELECT a.c0, b.c1 FROM st a JOIN st b ON a.c0 = b.c0 WHERE b.c1 < 20)",
+}
+
+func scatterSpecs() map[string]shard.Spec {
+	return map[string]shard.Spec{
+		"hash1":      shard.HashSpec("c0", 1),
+		"hash2":      shard.HashSpec("c0", 2),
+		"hash4":      shard.HashSpec("c2", 4), // string key, few distinct values
+		"range3":     shard.RangeSpec("c1", engine.NewInt(15), engine.NewInt(35)),
+		"rangeEmpty": shard.RangeSpec("c1", engine.NewInt(20), engine.NewInt(1000)), // last shard empty
+	}
+}
+
+// TestScatterEquivalence pins sharded ≡ unsharded — same rows, same
+// order, same schema — across pushdown and fallback shapes, shard
+// counts, and an empty shard.
+func TestScatterEquivalence(t *testing.T) {
+	for specName, spec := range scatterSpecs() {
+		t.Run(specName, func(t *testing.T) {
+			fx := newScatterFixture(t, spec)
+			for _, q := range scatterQueries {
+				want, werr := fx.baseline.Query(q)
+				got, gerr := fx.coord.Query(q)
+				if (werr != nil) != (gerr != nil) {
+					t.Fatalf("%s: baseline err=%v sharded err=%v", q, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				if canonOrdered(got) != canonOrdered(want) {
+					t.Errorf("%s:\nsharded:  %s\nbaseline: %s", q, canonOrdered(got), canonOrdered(want))
+				}
+			}
+		})
+	}
+}
+
+// TestScatterDumpAndCast pins the universal egress paths: Dump gathers
+// a sharded object in original order, and CAST gathers then migrates,
+// leaving no temp objects behind.
+func TestScatterDumpAndCast(t *testing.T) {
+	fx := newScatterFixture(t, shard.HashSpec("c0", 3))
+	want, err := fx.baseline.Dump("st")
+	if err != nil {
+		t.Fatalf("baseline dump: %v", err)
+	}
+	got, err := fx.coord.Dump("st")
+	if err != nil {
+		t.Fatalf("sharded dump: %v", err)
+	}
+	if canonOrdered(got) != canonOrdered(want) {
+		t.Fatalf("dump mismatch:\nsharded:  %s\nbaseline: %s", canonOrdered(got), canonOrdered(want))
+	}
+
+	before := len(fx.coord.Objects())
+	res, err := fx.coord.Cast("st", EnginePostgres, CastOptions{})
+	if err != nil {
+		t.Fatalf("cast: %v", err)
+	}
+	if res.Object != "st" {
+		t.Fatalf("cast result object = %q, want st", res.Object)
+	}
+	copyRel, err := fx.coord.Dump(res.Target)
+	if err != nil {
+		t.Fatalf("dump cast copy: %v", err)
+	}
+	if canonOrdered(copyRel) != canonOrdered(want) {
+		t.Fatalf("cast copy mismatch")
+	}
+	// Exactly one new object — the named cast copy; any extra would be
+	// a leaked gather temp.
+	defer fx.coord.dropTempObjects([]string{res.Target})
+	if n := len(fx.coord.Objects()); n != before+1 {
+		t.Fatalf("temp objects leaked: %d -> %d (want exactly the cast target added)", before, n)
+	}
+}
+
+// failingShard errors on every query.
+type failingShard struct{ err error }
+
+func (e failingShard) Query(context.Context, string) (*engine.Relation, error) {
+	return nil, e.err
+}
+
+// TestScatterShardFailure pins the typed partial-failure contract: when
+// one shard fails, both execution paths surface a *ShardFailure naming
+// the object and shard, for queries and for Dump/CAST.
+func TestScatterShardFailure(t *testing.T) {
+	spec := shard.HashSpec("c0", 3)
+	fx := newScatterFixture(t, spec)
+	boom := errors.New("shard down")
+	eps := []ShardEndpoint{localShard{fx.shards[0]}, failingShard{boom}, localShard{fx.shards[2]}}
+	fx.coord.SetShardEndpoints(eps...)
+
+	for _, q := range []string{
+		"RELATIONAL(SELECT * FROM st)",              // pushdown plain
+		"RELATIONAL(SELECT COUNT(*) AS n FROM st)",  // pushdown aggregate
+		"RELATIONAL(SELECT c0 FROM st ORDER BY c0)", // gather fallback
+		"RELATIONAL(SELECT DISTINCT c2 FROM st)",    // gather fallback
+	} {
+		_, err := fx.coord.Query(q)
+		sf, ok := IsShardFailure(err)
+		if !ok {
+			t.Fatalf("%s: err = %v, want *ShardFailure", q, err)
+		}
+		if sf.Object != "st" || sf.Shard != 1 || !errors.Is(err, boom) {
+			t.Fatalf("%s: failure = %+v, want object st shard 1 wrapping boom", q, sf)
+		}
+	}
+	if _, err := fx.coord.Dump("st"); !errors.Is(err, boom) {
+		t.Fatalf("dump err = %v, want boom", err)
+	}
+	if _, err := fx.coord.Cast("st", EnginePostgres, CastOptions{}); !errors.Is(err, boom) {
+		t.Fatalf("cast err = %v, want boom", err)
+	}
+}
+
+// TestScatterCancellation: a cancelled context fails the fan-out with
+// a ShardFailure wrapping context.Canceled rather than hanging.
+func TestScatterCancellation(t *testing.T) {
+	fx := newScatterFixture(t, shard.HashSpec("c0", 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := fx.coord.QueryCtx(ctx, "RELATIONAL(SELECT * FROM st)")
+	if err == nil {
+		t.Fatal("cancelled scatter query succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRegisterShardedValidation pins the registration contract.
+func TestRegisterShardedValidation(t *testing.T) {
+	p := New()
+	schema := engine.Schema{Columns: []engine.Column{engine.Col("k", engine.TypeInt)}}
+	spec := shard.HashSpec("k", 2)
+	if err := p.RegisterSharded("t", spec, schema, 0, 1); err == nil {
+		t.Fatal("registered with no endpoints installed")
+	}
+	p.SetShardEndpoints(failingShard{}, failingShard{})
+	if err := p.RegisterSharded("t", shard.HashSpec("missing", 2), schema, 0, 1); err == nil {
+		t.Fatal("registered with key not in schema")
+	}
+	if err := p.RegisterSharded("t", spec, schema, 0); err == nil {
+		t.Fatal("registered with wrong endpoint count")
+	}
+	bad := engine.Schema{Columns: []engine.Column{
+		engine.Col("k", engine.TypeInt), engine.Col(shard.GposColumn, engine.TypeInt),
+	}}
+	if err := p.RegisterSharded("t", spec, bad, 0, 1); err == nil {
+		t.Fatal("registered with reserved column in schema")
+	}
+	if err := p.RegisterSharded("t", spec, schema, 0, 1); err != nil {
+		t.Fatalf("valid registration failed: %v", err)
+	}
+	if err := p.RegisterSharded("T", spec, schema, 0, 1); err == nil {
+		t.Fatal("duplicate registration allowed")
+	}
+	if _, ok := p.PlacementOf("t"); !ok {
+		t.Fatal("placement missing after registration")
+	}
+	p.DeregisterSharded("t")
+	if _, ok := p.PlacementOf("t"); ok {
+		t.Fatal("placement present after deregistration")
+	}
+}

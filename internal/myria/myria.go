@@ -193,6 +193,12 @@ func (p Project) String() string {
 }
 
 func (j Join) execute(ctx *execCtx) (*engine.Relation, error) {
+	// A join whose inputs are both shuffles on the join keys runs
+	// partition-parallel (shuffle.go) — the exchange-operator model the
+	// paper's Myria island describes, wired to real work.
+	if out, handled, err := j.executePartitioned(ctx); handled {
+		return out, err
+	}
 	left, err := j.Left.execute(ctx)
 	if err != nil {
 		return nil, err
@@ -209,6 +215,15 @@ func (j Join) execute(ctx *execCtx) (*engine.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	out, probed := joinRelations(left, right, li, ri)
+	ctx.stats.RowsProcessed += probed
+	return out, nil
+}
+
+// joinRelations is the hash equi-join core shared by the sequential
+// and partition-parallel paths: build on the right, probe the left in
+// order, skip NULL keys on both sides. probed counts probe rows.
+func joinRelations(left, right *engine.Relation, li, ri int) (out *engine.Relation, probed int64) {
 	build := make(map[string][]engine.Tuple, right.Len())
 	for _, t := range right.Tuples {
 		if t[ri].IsNull() {
@@ -218,9 +233,9 @@ func (j Join) execute(ctx *execCtx) (*engine.Relation, error) {
 		build[k] = append(build[k], t)
 	}
 	cols := append(append([]engine.Column{}, left.Schema.Columns...), right.Schema.Columns...)
-	out := engine.NewRelation(engine.Schema{Columns: cols})
+	out = engine.NewRelation(engine.Schema{Columns: cols})
 	for _, lt := range left.Tuples {
-		ctx.stats.RowsProcessed++
+		probed++
 		if lt[li].IsNull() {
 			continue
 		}
@@ -231,7 +246,7 @@ func (j Join) execute(ctx *execCtx) (*engine.Relation, error) {
 			out.Tuples = append(out.Tuples, row)
 		}
 	}
-	return out, nil
+	return out, probed
 }
 
 func (j Join) String() string {

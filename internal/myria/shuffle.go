@@ -1,0 +1,173 @@
+package myria
+
+// The shuffle (exchange) operator: Myria's parallel-execution model,
+// wired to real work. A Shuffle hash-partitions its child's rows on a
+// key column using the same assignment function the federation's
+// sharding layer uses (internal/shard), so a shuffle-repartitioned
+// join aligns rows exactly the way a sharded table's placement does. A
+// Join whose two inputs are Shuffles on the join keys with matching
+// partition counts executes partition-parallel: each partition pair is
+// hash-joined in its own goroutine and the outputs concatenate in
+// partition order. Parallelize rewrites a plan's equi-joins into this
+// shape; it is a separate pass from Optimize, applied when the caller
+// wants parallelism (the polystore's Myria entry point does for plans
+// over sharded inputs).
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// Shuffle hash-partitions its child's rows on Key into Partitions
+// buckets. Executed standalone it returns the child's rows grouped by
+// partition (a multiset-preserving reorder); its real purpose is to
+// mark a Join input for the partition-parallel path.
+type Shuffle struct {
+	Child      Plan
+	Key        string
+	Partitions int
+}
+
+func (s Shuffle) execute(ctx *execCtx) (*engine.Relation, error) {
+	in, parts, err := s.partition(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := engine.NewRelation(in.Schema)
+	for _, p := range parts {
+		out.Tuples = append(out.Tuples, p.Tuples...)
+	}
+	return out, nil
+}
+
+// partition executes the child and splits its rows by the shuffle key.
+func (s Shuffle) partition(ctx *execCtx) (*engine.Relation, []*engine.Relation, error) {
+	if s.Partitions <= 0 {
+		return nil, nil, fmt.Errorf("myria: Shuffle needs Partitions > 0")
+	}
+	in, err := s.Child.execute(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	ki, err := in.Schema.MustIndex(s.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx.stats.RowsProcessed += int64(in.Len())
+	spec := shard.HashSpec(s.Key, s.Partitions)
+	parts := make([]*engine.Relation, s.Partitions)
+	for i := range parts {
+		parts[i] = engine.NewRelation(in.Schema)
+	}
+	for _, t := range in.Tuples {
+		p := spec.Assign(t[ki])
+		parts[p].Tuples = append(parts[p].Tuples, t)
+	}
+	return in, parts, nil
+}
+
+func (s Shuffle) String() string {
+	return fmt.Sprintf("shuffle[%s,%d](%s)", s.Key, s.Partitions, s.Child)
+}
+
+// executePartitioned runs the partition-parallel join when both inputs
+// are Shuffles on the join keys with matching partition counts.
+// handled=false falls back to the sequential path (which still
+// executes any Shuffle children as plain reorders, so a key or count
+// mismatch stays correct — it just doesn't parallelize).
+func (j Join) executePartitioned(ctx *execCtx) (*engine.Relation, bool, error) {
+	ls, lok := j.Left.(Shuffle)
+	rs, rok := j.Right.(Shuffle)
+	if !lok || !rok || ls.Partitions != rs.Partitions || ls.Partitions <= 1 {
+		return nil, false, nil
+	}
+	// Partition-local joins only see partition-local matches: the
+	// shuffle keys must be the join keys, so equal join keys land in
+	// the same partition on both sides.
+	if !strings.EqualFold(ls.Key, j.LeftCol) || !strings.EqualFold(rs.Key, j.RightCol) {
+		return nil, false, nil
+	}
+	left, lparts, err := ls.partition(ctx)
+	if err != nil {
+		return nil, true, err
+	}
+	right, rparts, err := rs.partition(ctx)
+	if err != nil {
+		return nil, true, err
+	}
+	li, err := left.Schema.MustIndex(j.LeftCol)
+	if err != nil {
+		return nil, true, err
+	}
+	ri, err := right.Schema.MustIndex(j.RightCol)
+	if err != nil {
+		return nil, true, err
+	}
+	outs := make([]*engine.Relation, len(lparts))
+	probed := make([]int64, len(lparts))
+	var wg sync.WaitGroup
+	for p := range lparts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			outs[p], probed[p] = joinRelations(lparts[p], rparts[p], li, ri)
+		}(p)
+	}
+	wg.Wait()
+	cols := append(append([]engine.Column{}, left.Schema.Columns...), right.Schema.Columns...)
+	out := engine.NewRelation(engine.Schema{Columns: cols})
+	for p := range outs {
+		ctx.stats.RowsProcessed += probed[p]
+		out.Tuples = append(out.Tuples, outs[p].Tuples...)
+	}
+	return out, true, nil
+}
+
+// Parallelize rewrites every equi-join in a plan into a
+// shuffle-repartitioned join with n partitions. It is semantics
+// preserving up to row order (joins emit partition-major instead of
+// probe-major order); callers that need parallelism apply it after
+// Optimize.
+func Parallelize(p Plan, n int) Plan {
+	if n <= 1 {
+		return p
+	}
+	switch node := p.(type) {
+	case Join:
+		return Join{
+			Left:     Shuffle{Child: Parallelize(node.Left, n), Key: node.LeftCol, Partitions: n},
+			Right:    Shuffle{Child: Parallelize(node.Right, n), Key: node.RightCol, Partitions: n},
+			LeftCol:  node.LeftCol,
+			RightCol: node.RightCol,
+		}
+	case Select:
+		node.Child = Parallelize(node.Child, n)
+		return node
+	case Project:
+		node.Child = Parallelize(node.Child, n)
+		return node
+	case GroupBy:
+		node.Child = Parallelize(node.Child, n)
+		return node
+	case Distinct:
+		node.Child = Parallelize(node.Child, n)
+		return node
+	case Union:
+		node.Left = Parallelize(node.Left, n)
+		node.Right = Parallelize(node.Right, n)
+		return node
+	case Iterate:
+		node.Init = Parallelize(node.Init, n)
+		node.Body = Parallelize(node.Body, n)
+		return node
+	case Shuffle:
+		node.Child = Parallelize(node.Child, n)
+		return node
+	default:
+		return p
+	}
+}

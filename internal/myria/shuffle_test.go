@@ -1,0 +1,191 @@
+package myria
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// canonRows renders a relation order-insensitively (sorted row lines).
+func canonRows(rel *engine.Relation) string {
+	lines := make([]string, rel.Len())
+	for i, t := range rel.Tuples {
+		var sb strings.Builder
+		for _, v := range t {
+			fmt.Fprintf(&sb, "%d:%s\x1f", v.Kind, v.String())
+		}
+		lines[i] = sb.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// bigSrc builds a larger join workload than src(t), with NULL keys on
+// both sides to pin the skip-NULL join semantics through the shuffle.
+func bigSrc() MapSource {
+	left := engine.NewRelation(engine.NewSchema(
+		engine.Col("k", engine.TypeInt), engine.Col("lv", engine.TypeString)))
+	right := engine.NewRelation(engine.NewSchema(
+		engine.Col("k", engine.TypeInt), engine.Col("rv", engine.TypeInt)))
+	for i := 0; i < 200; i++ {
+		lk := engine.NewInt(int64(i % 37))
+		if i%19 == 0 {
+			lk = engine.Null
+		}
+		_ = left.Append(engine.Tuple{lk, engine.NewString(fmt.Sprintf("l%d", i))})
+		rk := engine.NewInt(int64(i % 23))
+		if i%31 == 0 {
+			rk = engine.Null
+		}
+		_ = right.Append(engine.Tuple{rk, engine.NewInt(int64(i))})
+	}
+	return MapSource{"l": left, "r": right}
+}
+
+// TestShuffleIsMultisetPreserving: executing a Shuffle standalone is a
+// pure reorder of its child.
+func TestShuffleIsMultisetPreserving(t *testing.T) {
+	s := bigSrc()
+	plain, _, err := Execute(Scan{"l"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4, 7} {
+		shuffled, _, err := Execute(Shuffle{Child: Scan{"l"}, Key: "k", Partitions: n}, s)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", n, err)
+		}
+		if canonRows(shuffled) != canonRows(plain) {
+			t.Fatalf("partitions=%d: shuffle changed the multiset", n)
+		}
+	}
+	if _, _, err := Execute(Shuffle{Child: Scan{"l"}, Key: "k"}, s); err == nil {
+		t.Fatal("Partitions=0 accepted")
+	}
+	if _, _, err := Execute(Shuffle{Child: Scan{"l"}, Key: "missing", Partitions: 2}, s); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+// TestPartitionedJoinMatchesSequential: the partition-parallel join
+// produces exactly the sequential join's rows, for several partition
+// counts, under NULL join keys, and composed with downstream
+// operators.
+func TestPartitionedJoinMatchesSequential(t *testing.T) {
+	s := bigSrc()
+	seqPlan := Join{Left: Scan{"l"}, Right: Scan{"r"}, LeftCol: "k", RightCol: "k"}
+	seq, seqStats, err := Execute(seqPlan, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() == 0 {
+		t.Fatal("fixture join is empty — test proves nothing")
+	}
+	for _, n := range []int{2, 3, 8} {
+		par, parStats, err := Execute(Parallelize(seqPlan, n), s)
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", n, err)
+		}
+		if canonRows(par) != canonRows(seq) {
+			t.Fatalf("partitions=%d: partitioned join diverges from sequential", n)
+		}
+		if parStats.RowsProcessed < seqStats.RowsProcessed {
+			t.Fatalf("partitions=%d: shuffle accounting lost work: %d < %d",
+				n, parStats.RowsProcessed, seqStats.RowsProcessed)
+		}
+	}
+
+	// Composed: groupby over a parallelized join, plus Optimize first.
+	composed := GroupBy{
+		Child: Select{Child: seqPlan, Pred: "rv > 50"},
+		Keys:  []string{"lv"},
+		Aggs:  []AggSpec{{Kind: "count", As: "n"}, {Kind: "sum", Col: "rv", As: "s"}},
+	}
+	want, _, err := Execute(composed, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Execute(Parallelize(Optimize(composed), 4), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonRows(got) != canonRows(want) {
+		t.Fatal("parallelized+optimized plan diverges")
+	}
+}
+
+// TestPartitionedJoinGuards: mismatched shuffle keys or partition
+// counts must NOT take the partition-parallel path (partition-local
+// joins would lose cross-partition matches) — they fall back to the
+// sequential join over the shuffles-as-reorders and stay correct.
+func TestPartitionedJoinGuards(t *testing.T) {
+	s := bigSrc()
+	want, _, err := Execute(Join{Left: Scan{"l"}, Right: Scan{"r"}, LeftCol: "k", RightCol: "k"}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, plan := range map[string]Plan{
+		"key mismatch": Join{
+			Left:     Shuffle{Child: Scan{"l"}, Key: "lv", Partitions: 4},
+			Right:    Shuffle{Child: Scan{"r"}, Key: "k", Partitions: 4},
+			LeftCol:  "k",
+			RightCol: "k",
+		},
+		"count mismatch": Join{
+			Left:     Shuffle{Child: Scan{"l"}, Key: "k", Partitions: 4},
+			Right:    Shuffle{Child: Scan{"r"}, Key: "k", Partitions: 3},
+			LeftCol:  "k",
+			RightCol: "k",
+		},
+	} {
+		got, _, err := Execute(plan, s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if canonRows(got) != canonRows(want) {
+			t.Fatalf("%s: fell into an unsound partitioned join", name)
+		}
+	}
+}
+
+// TestParallelizeIterate: the rewrite reaches inside iteration bodies
+// (transitive closure still converges to the same fixpoint).
+func TestParallelizeIterate(t *testing.T) {
+	edges := engine.NewRelation(engine.NewSchema(
+		engine.Col("src", engine.TypeInt), engine.Col("dst", engine.TypeInt)))
+	// A renamed copy avoids name collisions in the self-join.
+	edges2 := engine.NewRelation(engine.NewSchema(
+		engine.Col("from2", engine.TypeInt), engine.Col("to2", engine.TypeInt)))
+	for _, e := range [][2]int64{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {6, 7}} {
+		_ = edges.Append(engine.Tuple{engine.NewInt(e[0]), engine.NewInt(e[1])})
+		_ = edges2.Append(engine.Tuple{engine.NewInt(e[0]), engine.NewInt(e[1])})
+	}
+	s := MapSource{"edges": edges, "edges2": edges2}
+	tc := Iterate{
+		Init: Scan{"edges"},
+		Body: Project{
+			Child: Join{Left: Scan{"tc"}, Right: Scan{"edges2"}, LeftCol: "dst", RightCol: "from2"},
+			Cols:  []string{"src", "to2"},
+		},
+		StateName: "tc",
+		MaxIters:  10,
+	}
+	want, _, err := Execute(tc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := Parallelize(tc, 3)
+	if !strings.Contains(par.String(), "shuffle[") {
+		t.Fatalf("Parallelize left no shuffle in: %s", par)
+	}
+	got, _, err := Execute(par, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonRows(got) != canonRows(want) {
+		t.Fatal("parallelized transitive closure diverges")
+	}
+}

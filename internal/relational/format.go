@@ -214,3 +214,17 @@ func WalkColumnRefs(e Expr, fn func(ColumnRef)) {
 // HasAggregate reports whether the expression contains an aggregate
 // function call (which a per-row pushdown predicate can never contain).
 func HasAggregate(e Expr) bool { return hasAggregate(e) }
+
+// ItemName reports the output column name the executor derives for a
+// projection item: the alias if present, a bare column reference's own
+// name, else the expression's canonical key. Scatter-gather uses it to
+// restore baseline column names on merged shard results.
+func ItemName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if cr, ok := item.Expr.(ColumnRef); ok {
+		return cr.Name
+	}
+	return exprKey(item.Expr)
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 )
 
 // ErrOverloaded is returned when a request arrives with every execution
@@ -22,10 +23,19 @@ var ErrOverloaded = errors.New("server: overloaded: admission queue full")
 type admission struct {
 	// slots holds one token per executing request.
 	slots chan struct{}
-	// members holds one token per admitted-or-waiting request, so
-	// len(members) - len(slots) is the current queue depth and the
+	// members holds one token per admitted-or-waiting request; the
 	// channel capacity (slots+queue) is the hard admission bound.
 	members chan struct{}
+	// nExecuting/nQueued mirror the channel occupancy for metrics.
+	// Deriving depth from len(members)-len(slots) would read the two
+	// channels non-atomically and transiently over-report during
+	// release (which drains slots before members); these counters are
+	// updated in an order that keeps every interleaved reading within
+	// [0, cap]: queued increments before the wait begins and executing
+	// increments before queued decrements, so neither ever dips
+	// negative or exceeds its channel's capacity.
+	nExecuting atomic.Int64
+	nQueued    atomic.Int64
 }
 
 func newAdmission(maxConcurrent, maxQueue int) *admission {
@@ -38,17 +48,27 @@ func newAdmission(maxConcurrent, maxQueue int) *admission {
 // acquire admits one request: immediately, after a bounded queue wait,
 // or not at all. ctx expiry while queued returns ctx's error (the
 // request's deadline covers queue time — a request that waited its
-// whole budget is not worth starting).
+// whole budget is not worth starting; likewise one that arrived
+// already expired, which is checked before a free slot can win the
+// select race).
 func (a *admission) acquire(ctx context.Context) error {
 	select {
 	case a.members <- struct{}{}:
 	default:
 		return ErrOverloaded
 	}
+	if err := ctx.Err(); err != nil {
+		<-a.members
+		return err
+	}
+	a.nQueued.Add(1)
 	select {
 	case a.slots <- struct{}{}:
+		a.nExecuting.Add(1)
+		a.nQueued.Add(-1)
 		return nil
 	case <-ctx.Done():
+		a.nQueued.Add(-1)
 		<-a.members
 		return ctx.Err()
 	}
@@ -56,12 +76,13 @@ func (a *admission) acquire(ctx context.Context) error {
 
 // release frees the slot and membership taken by acquire.
 func (a *admission) release() {
+	a.nExecuting.Add(-1)
 	<-a.slots
 	<-a.members
 }
 
 // executing reports how many requests hold execution slots.
-func (a *admission) executing() int { return len(a.slots) }
+func (a *admission) executing() int { return int(a.nExecuting.Load()) }
 
 // queued reports how many admitted requests are waiting for a slot.
-func (a *admission) queued() int { return len(a.members) - len(a.slots) }
+func (a *admission) queued() int { return int(a.nQueued.Load()) }

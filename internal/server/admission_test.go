@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAcquireRejectsExpiredContext pins the admission-order bug: with
+// free slots AND an already-expired context, the slot/ctx select chose
+// randomly, so roughly half of expired requests were admitted and
+// executed. acquire must check expiry first — deterministically, every
+// time.
+func TestAcquireRejectsExpiredContext(t *testing.T) {
+	a := newAdmission(4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 500; i++ {
+		err := a.acquire(ctx)
+		if err == nil {
+			a.release()
+			t.Fatalf("iteration %d: expired context was admitted", i)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled", i, err)
+		}
+	}
+	if e, q := a.executing(), a.queued(); e != 0 || q != 0 {
+		t.Fatalf("counters after rejected acquires: executing=%d queued=%d, want 0/0", e, q)
+	}
+	// The member tokens taken during the rejected acquires must all be
+	// returned: a live request can still fill every slot.
+	for i := 0; i < 4; i++ {
+		if err := a.acquire(context.Background()); err != nil {
+			t.Fatalf("live acquire %d after rejections: %v", i, err)
+		}
+	}
+	if e := a.executing(); e != 4 {
+		t.Fatalf("executing = %d, want 4", e)
+	}
+	for i := 0; i < 4; i++ {
+		a.release()
+	}
+}
+
+// TestQueuedNoOverReportDuringRelease pins the queue-depth metric bug:
+// queued() derived from len(members)-len(slots) transiently over-reports
+// while release drains slots before members. With no waiter ever
+// present, every reading of queued() must be exactly zero, including
+// mid-release.
+func TestQueuedNoOverReportDuringRelease(t *testing.T) {
+	a := newAdmission(1, 0)
+	for i := 0; i < 300; i++ {
+		if err := a.acquire(context.Background()); err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		done := make(chan struct{})
+		go func() {
+			a.release()
+			close(done)
+		}()
+	poll:
+		for {
+			if q := a.queued(); q != 0 {
+				t.Fatalf("iteration %d: queued() = %d with no waiters", i, q)
+			}
+			select {
+			case <-done:
+				break poll
+			default:
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// TestAdmissionCountersRaceStress hammers acquire/release from many
+// goroutines — some with already-tight deadlines so the expiry path
+// runs too — while a reader continuously asserts the metric invariants:
+// both counters non-negative, executing bounded by the slot count,
+// queued bounded by the admission capacity. Run under -race in CI.
+func TestAdmissionCountersRaceStress(t *testing.T) {
+	const maxConcurrent, maxQueue = 3, 5
+	a := newAdmission(maxConcurrent, maxQueue)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if w%3 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(w%2)*time.Millisecond)
+				}
+				if err := a.acquire(ctx); err == nil {
+					a.release()
+				}
+				cancel()
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if e := a.executing(); e < 0 || e > maxConcurrent {
+			t.Errorf("executing() = %d, want within [0, %d]", e, maxConcurrent)
+			break
+		}
+		if q := a.queued(); q < 0 || q > maxConcurrent+maxQueue {
+			t.Errorf("queued() = %d, want within [0, %d]", q, maxConcurrent+maxQueue)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if e, q := a.executing(), a.queued(); e != 0 || q != 0 {
+		t.Fatalf("counters after quiesce: executing=%d queued=%d, want 0/0", e, q)
+	}
+}

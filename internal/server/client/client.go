@@ -110,14 +110,47 @@ func (c *Client) roundTrip(ctx context.Context, req server.Request) (server.Resp
 		c.broken.Store(true)
 		return server.Response{}, err
 	}
-	if err := server.WriteRequest(c.conn, req); err != nil {
-		c.broken.Store(true)
-		return server.Response{}, fmt.Errorf("client: send: %w", err)
-	}
-	resp, err := server.ReadResponse(c.br)
+	// Watch for cancellation while blocked on the socket. The deadline
+	// (when any) is mirrored onto the socket above, but cancellation of
+	// a deadline-less context has no other lever: severing the
+	// connection is the only way to unblock WriteRequest/ReadResponse
+	// against a stalled server.
+	stop := make(chan struct{})
+	watcher := make(chan struct{})
+	go func() {
+		defer close(watcher)
+		select {
+		case <-ctx.Done():
+			// Deadline expiry is left to the mirrored socket deadline,
+			// whose grace lets the server's own deadline reply win the
+			// race; explicit cancellation severs immediately.
+			if errors.Is(ctx.Err(), context.Canceled) {
+				c.broken.Store(true)
+				c.conn.Close()
+			}
+		case <-stop:
+		}
+	}()
+	resp, err := func() (server.Response, error) {
+		if err := server.WriteRequest(c.conn, req); err != nil {
+			return server.Response{}, fmt.Errorf("client: send: %w", err)
+		}
+		resp, err := server.ReadResponse(c.br)
+		if err != nil {
+			return server.Response{}, fmt.Errorf("client: recv: %w", err)
+		}
+		return resp, nil
+	}()
+	close(stop)
+	<-watcher
 	if err != nil {
 		c.broken.Store(true)
-		return server.Response{}, fmt.Errorf("client: recv: %w", err)
+		// A cancellation-severed socket surfaces as a read/write error;
+		// report the cause, not the symptom.
+		if cerr := ctx.Err(); cerr != nil {
+			return server.Response{}, cerr
+		}
+		return server.Response{}, err
 	}
 	return resp, nil
 }

@@ -1,0 +1,172 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// stalledListener accepts connections and never responds — the
+// pathological server that exposed the roundTrip cancellation bug.
+// Accepted connections are held (not leaked to GC, whose finalizer
+// would close them) until Close.
+type stalledListener struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newStalledListener(t *testing.T) *stalledListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s := &stalledListener{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.mu.Unlock()
+		}
+	}()
+	t.Cleanup(s.Close)
+	return s
+}
+
+func (s *stalledListener) Addr() string { return s.ln.Addr().String() }
+
+func (s *stalledListener) Close() {
+	_ = s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = nil
+}
+
+// TestCancelUnblocksStalledRoundTrip pins the roundTrip bug: a
+// deadline-less context that is cancelled while the client is blocked
+// in ReadResponse against a stalled server must sever the connection
+// and return promptly — before the fix it hung forever (the socket
+// deadline was only set when the context carried one).
+func TestCancelUnblocksStalledRoundTrip(t *testing.T) {
+	srv := newStalledListener(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background()) // no deadline
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Query(ctx, "RELATIONAL(SELECT 1)")
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the query block on the read
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("roundTrip still blocked 5s after cancellation")
+	}
+	// The severed connection is marked broken: later calls fail fast
+	// instead of writing into a desynchronized stream.
+	if _, err := c.Query(context.Background(), "RELATIONAL(SELECT 1)"); err == nil {
+		t.Fatal("query on severed connection succeeded")
+	}
+}
+
+// TestCancelledBeforeCallFailsFast: an already-cancelled context never
+// touches the wire.
+func TestCancelledBeforeCallFailsFast(t *testing.T) {
+	srv := newStalledListener(t)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Query(ctx, "RELATIONAL(SELECT 1)"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// servedPolystore runs a real server over a one-table polystore.
+func servedPolystore(t *testing.T) string {
+	t.Helper()
+	p := core.New()
+	rel := engine.NewRelation(engine.NewSchema(engine.Col("c0", engine.TypeInt)))
+	for i := 0; i < 8; i++ {
+		_ = rel.Append(engine.Tuple{engine.NewInt(int64(i))})
+	}
+	if err := p.Load(core.EnginePostgres, "t", rel, core.CastOptions{}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	s, err := server.Serve(p, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s.Addr().String()
+}
+
+// TestEndpointRedialsAfterBrokenConnection: an Endpoint survives a
+// severed connection (here: a cancellation mid-round-trip would do the
+// same) by redialing on the next call, while server-side query errors
+// leave the cached connection in place.
+func TestEndpointRedialsAfterBrokenConnection(t *testing.T) {
+	addr := servedPolystore(t)
+	e := NewEndpoint(addr)
+	defer func() { _ = e.Close() }()
+
+	if _, err := e.Query(context.Background(), "RELATIONAL(SELECT * FROM t)"); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	first := e.c
+
+	// A server-side query error is not a transport failure: the
+	// connection stays cached.
+	var qerr *QueryError
+	if _, err := e.Query(context.Background(), "RELATIONAL(SELECT * FROM missing)"); !errors.As(err, &qerr) {
+		t.Fatalf("err = %v, want *QueryError", err)
+	}
+	if e.c != first {
+		t.Fatal("query error invalidated the connection")
+	}
+
+	// Break the connection under the endpoint; the next call redials.
+	_ = first.Close()
+	rel, err := e.Query(context.Background(), "RELATIONAL(SELECT * FROM t)")
+	if err != nil {
+		t.Fatalf("query after break: %v", err)
+	}
+	if rel.Len() != 8 {
+		t.Fatalf("rows = %d, want 8", rel.Len())
+	}
+	if e.c == first {
+		t.Fatal("endpoint did not redial after transport failure")
+	}
+}

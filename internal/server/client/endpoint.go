@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Endpoint is a self-healing handle on one server address: it dials
+// lazily, reuses the connection across calls, and redials after the
+// connection breaks (a transport failure, or a cancellation that
+// severed the socket mid-round-trip). Server-side query errors leave
+// the connection healthy and cached. It satisfies core.ShardEndpoint,
+// so a scatter coordinator keeps one Endpoint per shard and individual
+// failed or cancelled fan-out calls don't poison later queries.
+type Endpoint struct {
+	addr string
+
+	mu sync.Mutex
+	c  *Client
+}
+
+// NewEndpoint makes a handle on addr without dialing.
+func NewEndpoint(addr string) *Endpoint { return &Endpoint{addr: addr} }
+
+// client returns the cached connection, replacing it if broken.
+func (e *Endpoint) client() (*Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.c != nil && !e.c.broken.Load() {
+		return e.c, nil
+	}
+	if e.c != nil {
+		_ = e.c.Close()
+		e.c = nil
+	}
+	c, err := Dial(e.addr)
+	if err != nil {
+		return nil, err
+	}
+	e.c = c
+	return c, nil
+}
+
+// Query runs one SCOPE/CAST query over the endpoint's connection.
+func (e *Endpoint) Query(ctx context.Context, q string) (*engine.Relation, error) {
+	c, err := e.client()
+	if err != nil {
+		return nil, err
+	}
+	return c.Query(ctx, q)
+}
+
+// Ping round-trips an empty request.
+func (e *Endpoint) Ping(ctx context.Context) error {
+	c, err := e.client()
+	if err != nil {
+		return err
+	}
+	return c.Ping(ctx)
+}
+
+// Close tears down the cached connection, if any.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.c == nil {
+		return nil
+	}
+	err := e.c.Close()
+	e.c = nil
+	return err
+}

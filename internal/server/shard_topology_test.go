@@ -1,0 +1,590 @@
+package server_test
+
+// Networked sharding suite: a coordinator polystore whose partitioned
+// tables live on real BDWQ shard servers reached through
+// client.Endpoint over loopback TCP. The equivalence arm replays the
+// fedgen seed matrix against an unsharded baseline; the outage arm
+// injects one dead and one stalled shard and demands the typed
+// partial-failure error within a bounded time; the lifecycle arm
+// drains, hard-stops, and client-disconnects a coordinator + 2 shards
+// topology mid-scatter — every test bracketed by the goroutine-leak
+// check.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/shard"
+)
+
+// ordered renders a relation order-sensitively: shard gather promises
+// to restore the exact original row order, so Dump parity is checked
+// row for row, not as a multiset.
+func ordered(rel *engine.Relation) string {
+	if rel == nil {
+		return "<nil>"
+	}
+	rows := make([]string, 0, rel.Len())
+	for _, tup := range rel.Tuples {
+		parts := make([]string, len(tup))
+		for i, v := range tup {
+			parts[i] = v.String()
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	return strings.Join(rows, "\n")
+}
+
+// stalledBackend accepts TCP connections and never answers — the slow
+// shard. Accepted connections are held so only Close releases them.
+type stalledBackend struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newStalledBackend(t *testing.T) *stalledBackend {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	b := &stalledBackend{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			b.mu.Lock()
+			b.conns = append(b.conns, c)
+			b.mu.Unlock()
+		}
+	}()
+	return b
+}
+
+func (b *stalledBackend) Addr() string { return b.ln.Addr().String() }
+
+func (b *stalledBackend) Close() {
+	_ = b.ln.Close()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, c := range b.conns {
+		_ = c.Close()
+	}
+	b.conns = nil
+}
+
+// shardFixture is the deterministic coordinator + N shards topology
+// used by the outage and lifecycle tests: one sharded table "big"
+// (64 rows, hash on k) plus a coordinator-local table "localt".
+type shardFixture struct {
+	coord    *core.Polystore
+	coordSrv *server.Server
+	shardSrv []*server.Server
+	eps      []*client.Endpoint
+}
+
+func newShardFixture(t *testing.T, nShards int) *shardFixture {
+	t.Helper()
+	big := engine.NewRelation(engine.NewSchema(
+		engine.Col("k", engine.TypeInt), engine.Col("v", engine.TypeString)))
+	for i := 0; i < 64; i++ {
+		if err := big.Append(engine.Tuple{
+			engine.NewInt(int64(i)), engine.NewString(fmt.Sprintf("v%d", i%5)),
+		}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	spec := shard.HashSpec("k", nShards)
+	parts, err := shard.Split(big, spec)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+
+	f := &shardFixture{coord: core.New()}
+	ifaces := make([]core.ShardEndpoint, 0, nShards)
+	idx := make([]int, 0, nShards)
+	for i, part := range parts {
+		sp := core.New()
+		if err := sp.Load(core.EnginePostgres, "big", part, core.CastOptions{}); err != nil {
+			t.Fatalf("shard %d load: %v", i, err)
+		}
+		srv, err := server.Serve(sp, "127.0.0.1:0", server.Config{})
+		if err != nil {
+			t.Fatalf("shard %d serve: %v", i, err)
+		}
+		ep := client.NewEndpoint(srv.Addr().String())
+		f.shardSrv = append(f.shardSrv, srv)
+		f.eps = append(f.eps, ep)
+		ifaces = append(ifaces, ep)
+		idx = append(idx, i)
+	}
+
+	local := engine.NewRelation(engine.NewSchema(engine.Col("x", engine.TypeInt)))
+	for i := 0; i < 4; i++ {
+		_ = local.Append(engine.Tuple{engine.NewInt(int64(i))})
+	}
+	if err := f.coord.Load(core.EnginePostgres, "localt", local, core.CastOptions{}); err != nil {
+		t.Fatalf("load localt: %v", err)
+	}
+	f.coord.SetShardEndpoints(ifaces...)
+	if err := f.coord.RegisterSharded("big", spec, big.Schema, idx...); err != nil {
+		t.Fatalf("register sharded: %v", err)
+	}
+	f.coordSrv, err = server.Serve(f.coord, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("coordinator serve: %v", err)
+	}
+	return f
+}
+
+// closeShards tears down the endpoints and shard servers. Coordinator
+// shutdown is the test's own business (drain and hard-stop exercise
+// it directly).
+func (f *shardFixture) closeShards(t *testing.T) {
+	t.Helper()
+	for _, ep := range f.eps {
+		_ = ep.Close()
+	}
+	for _, s := range f.shardSrv {
+		shutdown(t, s)
+	}
+}
+
+const (
+	scatterPushQuery = "RELATIONAL(SELECT COUNT(*) AS n FROM big)"
+	scatterFallQuery = "RELATIONAL(SELECT k FROM big ORDER BY k)"
+)
+
+// rangeBounds derives nShards-1 strictly ascending split points from
+// the data's own quantiles, or nil when there are too few distinct
+// values to range-partition nShards ways.
+func rangeBounds(rel *engine.Relation, col, nShards int) []engine.Value {
+	var distinct []engine.Value
+	vals := make([]engine.Value, 0, rel.Len())
+	for _, tup := range rel.Tuples {
+		if !tup[col].IsNull() {
+			vals = append(vals, tup[col])
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return engine.Compare(vals[i], vals[j]) < 0 })
+	for _, v := range vals {
+		if len(distinct) == 0 || engine.Compare(distinct[len(distinct)-1], v) != 0 {
+			distinct = append(distinct, v)
+		}
+	}
+	if len(distinct) < nShards {
+		return nil
+	}
+	bounds := make([]engine.Value, 0, nShards-1)
+	for i := 1; i < nShards; i++ {
+		bounds = append(bounds, distinct[i*len(distinct)/nShards])
+	}
+	return bounds
+}
+
+// fedShardSpec alternates hash and range partitioning across the
+// federation's relational objects, keyed on the object's first column.
+func fedShardSpec(o *core.FedObject, nth, nShards int) shard.Spec {
+	key := o.Rel.Schema.Columns[0].Name
+	if nth%2 == 1 {
+		if b := rangeBounds(o.Rel, 0, nShards); b != nil {
+			return shard.RangeSpec(key, b...)
+		}
+	}
+	return shard.HashSpec(key, nShards)
+}
+
+// runShardedSeed builds one fedgen federation twice — unsharded
+// baseline and a coordinator whose EnginePostgres objects are
+// partitioned across nShards TCP shard servers — and replays the
+// generated query batch through a real client against both.
+func runShardedSeed(t *testing.T, seed int64, nShards int) {
+	t.Helper()
+	g := core.NewFedGen(seed)
+	objs := g.Catalog()
+	queries := g.Queries(objs, 6)
+
+	baseline := core.New()
+	for _, o := range objs {
+		if err := o.Load(baseline); err != nil {
+			t.Fatalf("baseline load %s: %v", o.Name, err)
+		}
+	}
+
+	coord := core.New()
+	shardPs := make([]*core.Polystore, nShards)
+	for i := range shardPs {
+		shardPs[i] = core.New()
+	}
+	type reg struct {
+		name   string
+		spec   shard.Spec
+		schema engine.Schema
+	}
+	var regs []reg
+	nth := 0
+	for _, o := range objs {
+		if o.Eng != core.EnginePostgres {
+			if err := o.Load(coord); err != nil {
+				t.Fatalf("coordinator load %s: %v", o.Name, err)
+			}
+			continue
+		}
+		spec := fedShardSpec(o, nth, nShards)
+		nth++
+		parts, err := shard.Split(o.Rel, spec)
+		if err != nil {
+			t.Fatalf("split %s: %v", o.Name, err)
+		}
+		for i, part := range parts {
+			if err := shardPs[i].Load(core.EnginePostgres, o.Name, part, core.CastOptions{}); err != nil {
+				t.Fatalf("shard %d load %s: %v", i, o.Name, err)
+			}
+		}
+		regs = append(regs, reg{o.Name, spec, o.Rel.Schema})
+	}
+	if len(regs) == 0 {
+		t.Fatal("fedgen catalog has no relational object — generator contract broken")
+	}
+
+	// Shard servers first, so their endpoints exist when the
+	// coordinator's placements are registered against them.
+	ifaces := make([]core.ShardEndpoint, 0, nShards)
+	eps := make([]*client.Endpoint, 0, nShards)
+	srvs := make([]*server.Server, 0, nShards)
+	for i := 0; i < nShards; i++ {
+		s, err := server.Serve(shardPs[i], "127.0.0.1:0", server.Config{})
+		if err != nil {
+			t.Fatalf("shard %d serve: %v", i, err)
+		}
+		ep := client.NewEndpoint(s.Addr().String())
+		srvs = append(srvs, s)
+		eps = append(eps, ep)
+		ifaces = append(ifaces, ep)
+	}
+	coord.SetShardEndpoints(ifaces...)
+	idx := make([]int, nShards)
+	for i := range idx {
+		idx[i] = i
+	}
+	for _, r := range regs {
+		if err := coord.RegisterSharded(r.name, r.spec, r.schema, idx...); err != nil {
+			t.Fatalf("register %s: %v", r.name, err)
+		}
+	}
+	coordSrv, err := server.Serve(coord, "127.0.0.1:0", server.Config{})
+	if err != nil {
+		t.Fatalf("coordinator serve: %v", err)
+	}
+	c, err := client.Dial(coordSrv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial coordinator: %v", err)
+	}
+
+	// A guaranteed scatter per seed, on top of whatever the generator
+	// produced.
+	queries = append(queries,
+		fmt.Sprintf("RELATIONAL(SELECT COUNT(*) AS n FROM %s)", regs[0].name))
+	for _, q := range queries {
+		relA, errA := baseline.Query(q)
+		relB, errB := c.Query(context.Background(), q)
+		if (errA != nil) != (errB != nil) {
+			t.Fatalf("error divergence on %q:\n  baseline: %v\n  sharded:  %v", q, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if canon(relA) != canon(relB) {
+			t.Fatalf("result divergence on %q:\n  baseline:\n%s\n  sharded:\n%s",
+				q, canon(relA), canon(relB))
+		}
+	}
+
+	// Dump parity is order-sensitive: gather must reassemble the exact
+	// original row order from the hidden position column.
+	for _, r := range regs {
+		want, err := baseline.Dump(r.name)
+		if err != nil {
+			t.Fatalf("baseline dump %s: %v", r.name, err)
+		}
+		got, err := coord.Dump(r.name)
+		if err != nil {
+			t.Fatalf("sharded dump %s: %v", r.name, err)
+		}
+		if ordered(want) != ordered(got) {
+			t.Fatalf("dump of %s lost row order or rows:\n  want:\n%s\n  got:\n%s",
+				r.name, ordered(want), ordered(got))
+		}
+	}
+
+	_ = c.Close()
+	shutdown(t, coordSrv)
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	for _, s := range srvs {
+		shutdown(t, s)
+	}
+}
+
+// TestShardedEquivalenceTCP replays the fedgen seed matrix against
+// coordinator + N real shard servers: sharded must be observationally
+// identical to unsharded on every generated query.
+func TestShardedEquivalenceTCP(t *testing.T) {
+	check := leakCheck(t)
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for s := 0; s < seeds; s++ {
+		seed := int64(s)
+		nShards := 2 + s%3
+		t.Run(fmt.Sprintf("seed=%d,shards=%d", seed, nShards), func(t *testing.T) {
+			runShardedSeed(t, seed, nShards)
+		})
+	}
+	check()
+}
+
+// TestScatterDeadShard kills one shard server: both the pushdown and
+// the gather shapes must fail with the typed ShardFailure naming the
+// dead shard — quickly, with the coordinator still healthy after.
+func TestScatterDeadShard(t *testing.T) {
+	check := leakCheck(t)
+	f := newShardFixture(t, 2)
+	shutdown(t, f.shardSrv[1]) // shard 1 is now connection-refused
+
+	for _, q := range []string{scatterPushQuery, scatterFallQuery} {
+		start := time.Now()
+		_, err := f.coord.Query(q)
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("%q: dead shard stalled the scatter for %v", q, d)
+		}
+		sf, ok := core.IsShardFailure(err)
+		if !ok {
+			t.Fatalf("%q: err = %v, want *core.ShardFailure", q, err)
+		}
+		if sf.Object != "big" || sf.Shard != 1 {
+			t.Fatalf("%q: failure blames object=%q shard=%d, want big/1", q, sf.Object, sf.Shard)
+		}
+	}
+	// Non-sharded work is unaffected.
+	if rel, err := f.coord.Query("RELATIONAL(SELECT COUNT(*) AS n FROM localt)"); err != nil || rel.Len() != 1 {
+		t.Fatalf("local query after shard death: rel=%v err=%v", rel, err)
+	}
+	shutdown(t, f.coordSrv)
+	_ = f.eps[0].Close()
+	_ = f.eps[1].Close()
+	shutdown(t, f.shardSrv[0])
+	check()
+}
+
+// TestScatterSlowShard points one placement at a backend that accepts
+// and never answers. A deadline must surface as a ShardFailure wrapping
+// context.DeadlineExceeded within the deadline's order of magnitude; a
+// cancellation must unblock promptly. Neither may leak a goroutine.
+func TestScatterSlowShard(t *testing.T) {
+	check := leakCheck(t)
+	f := newShardFixture(t, 2)
+	stalled := newStalledBackend(t)
+	slowEp := client.NewEndpoint(stalled.Addr())
+	f.coord.SetShardEndpoints(f.eps[0], slowEp)
+
+	// Deadline: the mirrored socket deadline (+ grace) severs the read.
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	_, err := f.coord.QueryCtx(ctx, scatterPushQuery)
+	cancel()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("slow shard held the deadline query for %v", d)
+	}
+	sf, ok := core.IsShardFailure(err)
+	if !ok {
+		t.Fatalf("err = %v, want *core.ShardFailure", err)
+	}
+	if sf.Shard != 1 || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("failure = %v (shard %d), want shard 1 wrapping deadline exceeded", err, sf.Shard)
+	}
+
+	// Cancellation: the endpoint's context watcher severs the stalled
+	// connection immediately — no socket-deadline wait involved.
+	ctx, cancel = context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.coord.QueryCtx(ctx, scatterPushQuery)
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the scatter block on the read
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled through the ShardFailure", err)
+		}
+		if _, ok := core.IsShardFailure(err); !ok {
+			t.Fatalf("err = %v, want *core.ShardFailure", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scatter still blocked 5s after cancellation")
+	}
+
+	// The healthy placement serves again once the endpoint is restored.
+	f.coord.SetShardEndpoints(f.eps[0], f.eps[1])
+	rel, err := f.coord.Query(scatterPushQuery)
+	if err != nil || rel.Len() != 1 || rel.Tuples[0][0].AsInt() != 64 {
+		t.Fatalf("recovery query: rel=%v err=%v, want one row of 64", rel, err)
+	}
+
+	_ = slowEp.Close()
+	stalled.Close()
+	shutdown(t, f.coordSrv)
+	f.closeShards(t)
+	check()
+}
+
+// TestMultiShardGracefulDrain drains a coordinator + 2 shards topology
+// while a gather-shaped scatter is in flight (slowed at the staging
+// failpoint): the in-flight query must complete with the right rows,
+// new work must be refused, and everything unwinds to zero goroutines.
+func TestMultiShardGracefulDrain(t *testing.T) {
+	check := leakCheck(t)
+	f := newShardFixture(t, 2)
+	fault.Arm(fault.Spec{Point: core.FpCastLoad, Mode: fault.ModeDelay, Delay: 300 * time.Millisecond, Times: -1})
+	defer fault.Reset()
+
+	busy, err := client.Dial(f.coordSrv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = busy.Close() }()
+
+	type result struct {
+		rel *engine.Relation
+		err error
+	}
+	r := make(chan result, 1)
+	go func() {
+		rel, err := busy.Query(context.Background(), scatterFallQuery)
+		r <- result{rel, err}
+	}()
+	waitFor(t, time.Second, func() bool { return f.coordSrv.AdmissionExecuting() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.coordSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	res := <-r
+	if res.err != nil || res.rel == nil || res.rel.Len() != 64 {
+		t.Fatalf("in-flight scatter did not survive drain: rel=%v err=%v", res.rel, res.err)
+	}
+	for i, tup := range res.rel.Tuples {
+		if tup[0].AsInt() != int64(i) {
+			t.Fatalf("row %d = %v, want %d (ORDER BY lost)", i, tup[0], i)
+		}
+	}
+	if _, err := client.Dial(f.coordSrv.Addr().String()); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+	fault.Reset()
+	f.closeShards(t)
+	check()
+}
+
+// TestMultiShardHardStop hard-stops the coordinator while a scatter is
+// blocked on a stalled shard: Shutdown reports the missed deadline, the
+// severed request unblocks the scatter (no orphaned endpoint read), and
+// the whole topology unwinds leak-free.
+func TestMultiShardHardStop(t *testing.T) {
+	check := leakCheck(t)
+	f := newShardFixture(t, 2)
+	stalled := newStalledBackend(t)
+	slowEp := client.NewEndpoint(stalled.Addr())
+	f.coord.SetShardEndpoints(f.eps[0], slowEp)
+
+	c, err := client.Dial(f.coordSrv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+	r := make(chan error, 1)
+	go func() { _, err := c.Query(context.Background(), scatterPushQuery); r <- err }()
+	waitFor(t, time.Second, func() bool { return f.coordSrv.AdmissionExecuting() == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := f.coordSrv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hard stop: got %v, want deadline exceeded", err)
+	}
+	if err := <-r; err == nil {
+		t.Fatal("severed scatter returned a result")
+	}
+
+	_ = slowEp.Close()
+	stalled.Close()
+	f.closeShards(t)
+	check()
+}
+
+// TestClientDisconnectMidScatter pins cancellation propagation across
+// the whole chain: client vanishes → coordinator cancels the request
+// context → the scatter's endpoint watcher severs the stalled shard
+// connection → the execution slot frees. The coordinator must then
+// serve both local and (with the endpoint restored) sharded queries.
+func TestClientDisconnectMidScatter(t *testing.T) {
+	check := leakCheck(t)
+	f := newShardFixture(t, 2)
+	stalled := newStalledBackend(t)
+	slowEp := client.NewEndpoint(stalled.Addr())
+	f.coord.SetShardEndpoints(f.eps[0], slowEp)
+
+	c, err := client.Dial(f.coordSrv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { _, err := c.Query(context.Background(), scatterPushQuery); done <- err }()
+	waitFor(t, time.Second, func() bool { return f.coordSrv.AdmissionExecuting() == 1 })
+	_ = c.Close()
+	if err := <-done; err == nil {
+		t.Fatal("query on severed connection returned a result")
+	}
+	// The slot frees only if the scatter unblocked off the stalled read.
+	waitFor(t, 5*time.Second, func() bool { return f.coordSrv.AdmissionExecuting() == 0 })
+
+	c2, err := client.Dial(f.coordSrv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after disconnect: %v", err)
+	}
+	defer func() { _ = c2.Close() }()
+	if rel, err := c2.Query(context.Background(), "RELATIONAL(SELECT COUNT(*) AS n FROM localt)"); err != nil || rel.Len() != 1 {
+		t.Fatalf("local query after disconnect: rel=%v err=%v", rel, err)
+	}
+	f.coord.SetShardEndpoints(f.eps[0], f.eps[1])
+	rel, err := c2.Query(context.Background(), scatterPushQuery)
+	if err != nil || rel.Len() != 1 || rel.Tuples[0][0].AsInt() != 64 {
+		t.Fatalf("scatter after recovery: rel=%v err=%v, want one row of 64", rel, err)
+	}
+
+	_ = slowEp.Close()
+	stalled.Close()
+	shutdown(t, f.coordSrv)
+	f.closeShards(t)
+	check()
+}

@@ -1,0 +1,388 @@
+// Package shard implements horizontal partitioning for the polystore
+// federation: a Spec declares how a table's rows map to shards (hash or
+// range on a declared key column), Split produces the per-shard
+// partitions, and the merge helpers (Gather, Union, MergeAggregate)
+// reassemble per-shard results into the relation an unsharded execution
+// would have produced.
+//
+// Row order is load-bearing across the polystore — casting a relation
+// into the array island synthesizes a row-number dimension from row
+// position — so partitioning must be losslessly invertible, order
+// included. Split therefore appends a hidden INT column, GposColumn,
+// holding each row's global position in the original relation; Gather
+// sorts the reassembled rows by it and strips it, restoring the exact
+// original order. The column is an implementation detail of the shard
+// layer: coordinators fetch it explicitly and never let it escape into
+// query results.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// GposColumn is the hidden global-row-position column Split appends to
+// every partition (always the last column). It exists so merges can
+// restore the original global row order; user-visible schemas never
+// include it.
+const GposColumn = "__gpos"
+
+// Strategy names a partitioning function.
+type Strategy int
+
+const (
+	// Hash assigns a row to shard fnv1a(key) % Shards.
+	Hash Strategy = iota
+	// Range assigns a row to the first shard whose upper bound exceeds
+	// the key (engine.Compare order); keys ≥ the last bound go to the
+	// last shard.
+	Range
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Hash:
+		return "hash"
+	case Range:
+		return "range"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Spec declares how one table is partitioned: the strategy, the key
+// column it partitions on, and the shard count. Range specs carry
+// Shards-1 ascending split points.
+type Spec struct {
+	Strategy Strategy
+	Key      string
+	Shards   int
+	// Bounds are the Range split points: row r goes to the first shard i
+	// with Compare(key(r), Bounds[i]) < 0, else to shard len(Bounds).
+	// Ignored for Hash.
+	Bounds []engine.Value
+}
+
+// HashSpec declares hash partitioning on key across n shards.
+func HashSpec(key string, n int) Spec {
+	return Spec{Strategy: Hash, Key: key, Shards: n}
+}
+
+// RangeSpec declares range partitioning on key with the given ascending
+// split points; the shard count is len(bounds)+1.
+func RangeSpec(key string, bounds ...engine.Value) Spec {
+	return Spec{Strategy: Range, Key: key, Shards: len(bounds) + 1, Bounds: bounds}
+}
+
+// Validate checks the spec is internally consistent.
+func (s Spec) Validate() error {
+	if s.Key == "" {
+		return fmt.Errorf("shard: spec has no key column")
+	}
+	if s.Shards <= 0 {
+		return fmt.Errorf("shard: spec has %d shards", s.Shards)
+	}
+	switch s.Strategy {
+	case Hash:
+		return nil
+	case Range:
+		if len(s.Bounds) != s.Shards-1 {
+			return fmt.Errorf("shard: range spec with %d shards needs %d bounds, got %d",
+				s.Shards, s.Shards-1, len(s.Bounds))
+		}
+		for i := 1; i < len(s.Bounds); i++ {
+			if engine.Compare(s.Bounds[i-1], s.Bounds[i]) > 0 {
+				return fmt.Errorf("shard: range bounds not ascending at %d", i)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("shard: unknown strategy %v", s.Strategy)
+	}
+}
+
+// Assign maps one key value to its shard index. NULL keys go to shard 0
+// (both strategies), so every row has a home.
+func (s Spec) Assign(v engine.Value) int {
+	if v.IsNull() {
+		return 0
+	}
+	switch s.Strategy {
+	case Range:
+		for i, b := range s.Bounds {
+			if engine.Compare(v, b) < 0 {
+				return i
+			}
+		}
+		return s.Shards - 1
+	default:
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(canonValue(v)))
+		return int(h.Sum32() % uint32(s.Shards))
+	}
+}
+
+// canonValue renders a value as a kind-tagged canonical key, so Int 1,
+// Float 1.0 and String "1" hash and group distinctly — mirroring the
+// relational executor's grouping equality.
+func canonValue(v engine.Value) string {
+	switch v.Kind {
+	case engine.TypeInt:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case engine.TypeFloat:
+		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case engine.TypeString:
+		return "s" + v.S
+	case engine.TypeBool:
+		if v.B {
+			return "bt"
+		}
+		return "bf"
+	default:
+		return "n"
+	}
+}
+
+// Split partitions a relation per the spec. Each partition carries the
+// original schema plus the trailing GposColumn recording the row's
+// global position, so any merge can restore the exact original order.
+// Row slices are shared with the input (tuples are not deep-copied);
+// the appended position cell lives in a fresh tuple per row.
+func Split(rel *engine.Relation, spec Spec) ([]*engine.Relation, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	keyIdx := rel.Schema.Index(spec.Key)
+	if keyIdx < 0 {
+		return nil, fmt.Errorf("shard: key column %q not in schema %v", spec.Key, rel.Schema.Names())
+	}
+	if rel.Schema.Index(GposColumn) >= 0 {
+		return nil, fmt.Errorf("shard: relation already carries %s", GposColumn)
+	}
+	cols := append(append([]engine.Column{}, rel.Schema.Columns...), engine.Col(GposColumn, engine.TypeInt))
+	parts := make([]*engine.Relation, spec.Shards)
+	for i := range parts {
+		parts[i] = engine.NewRelation(engine.Schema{Columns: cols})
+	}
+	for pos, t := range rel.Tuples {
+		dst := spec.Assign(t[keyIdx])
+		row := make(engine.Tuple, 0, len(t)+1)
+		row = append(append(row, t...), engine.NewInt(int64(pos)))
+		parts[dst].Tuples = append(parts[dst].Tuples, row)
+	}
+	return parts, nil
+}
+
+// Union concatenates per-shard results with identical schemas, in shard
+// order. It is the merge for scattered queries whose output order is
+// restored separately (or does not matter).
+func Union(parts []*engine.Relation) (*engine.Relation, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("shard: union of zero parts")
+	}
+	out := engine.NewRelation(parts[0].Schema)
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("shard: union part %d is nil", i)
+		}
+		if !p.Schema.Equal(parts[0].Schema) {
+			return nil, fmt.Errorf("shard: union schema mismatch: shard 0 %s vs shard %d %s",
+				parts[0].Schema, i, p.Schema)
+		}
+		out.Tuples = append(out.Tuples, p.Tuples...)
+	}
+	return out, nil
+}
+
+// UnionBatches is Union over columnar batches: per-shard ColumnBatch
+// streams append into one batch without a row-at-a-time detour.
+func UnionBatches(parts []*engine.ColumnBatch) (*engine.ColumnBatch, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("shard: union of zero batches")
+	}
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += p.NumRows
+		}
+	}
+	out := engine.NewColumnBatch(parts[0].Schema, total)
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("shard: union batch %d is nil", i)
+		}
+		if err := out.AppendBatch(p); err != nil {
+			return nil, fmt.Errorf("shard: union batch %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Gather reassembles full-partition fetches into the original relation:
+// union, sort by the trailing GposColumn, strip it. The result is
+// byte-identical (schema, rows, order) to the relation Split was given.
+func Gather(parts []*engine.Relation) (*engine.Relation, error) {
+	u, err := Union(parts)
+	if err != nil {
+		return nil, err
+	}
+	n := len(u.Schema.Columns)
+	if n == 0 || !strings.EqualFold(u.Schema.Columns[n-1].Name, GposColumn) {
+		return nil, fmt.Errorf("shard: gather input lacks trailing %s column (schema %s)", GposColumn, u.Schema)
+	}
+	sort.Slice(u.Tuples, func(i, j int) bool {
+		return u.Tuples[i][n-1].I < u.Tuples[j][n-1].I
+	})
+	out := engine.NewRelation(engine.Schema{Columns: append([]engine.Column{}, u.Schema.Columns[:n-1]...)})
+	out.Tuples = make([]engine.Tuple, len(u.Tuples))
+	for i, t := range u.Tuples {
+		out.Tuples[i] = t[:n-1]
+	}
+	return out, nil
+}
+
+// MergeOp names how one output column of a scattered aggregate query
+// folds across shards.
+type MergeOp int
+
+const (
+	// MergeKey marks a group-key column: constant within a group.
+	MergeKey MergeOp = iota
+	// MergeCount sums per-shard COUNT partials.
+	MergeCount
+	// MergeSum sums per-shard SUM partials, skipping NULL (empty-shard)
+	// partials; all-NULL folds to NULL. The merged value stays INT only
+	// while every partial is INT — matching the executor's SUM typing
+	// for columns of uniform kind.
+	MergeSum
+	// MergeMin keeps the smallest non-NULL partial.
+	MergeMin
+	// MergeMax keeps the largest non-NULL partial.
+	MergeMax
+)
+
+// MergeAggregate folds per-shard partial-aggregate results into the
+// global result. The first keyCols columns of every part are group
+// keys; ops (one per remaining column) say how the rest fold. Groups
+// missing from a shard (no qualifying rows there) simply contribute
+// nothing. With keyCols == 0 every part must carry exactly one row (the
+// implicit single group) and the output is that single merged row.
+//
+// Output rows appear in first-encountered order across parts in shard
+// order; callers that need the unsharded execution's order carry an
+// ordering aggregate (e.g. MIN of GposColumn) and sort by it.
+func MergeAggregate(parts []*engine.Relation, keyCols int, ops []MergeOp) (*engine.Relation, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("shard: merge of zero parts")
+	}
+	width := len(parts[0].Schema.Columns)
+	if keyCols < 0 || keyCols+len(ops) != width {
+		return nil, fmt.Errorf("shard: merge shape mismatch: %d key cols + %d ops != %d columns",
+			keyCols, len(ops), width)
+	}
+	groups := map[string]*mergeGroup{}
+	var order []string
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("shard: merge part %d is nil", i)
+		}
+		if !p.Schema.Equal(parts[0].Schema) {
+			return nil, fmt.Errorf("shard: merge schema mismatch: shard 0 %s vs shard %d %s",
+				parts[0].Schema, i, p.Schema)
+		}
+		if keyCols == 0 && p.Len() != 1 {
+			return nil, fmt.Errorf("shard: global-aggregate part %d has %d rows, want 1", i, p.Len())
+		}
+		for _, t := range p.Tuples {
+			var kb strings.Builder
+			for _, v := range t[:keyCols] {
+				kb.WriteString(canonValue(v))
+				kb.WriteByte('\x1f')
+			}
+			k := kb.String()
+			g, ok := groups[k]
+			if !ok {
+				g = &mergeGroup{row: t.Clone(), sumIsInt: make([]bool, len(ops))}
+				for j, op := range ops {
+					if op == MergeSum {
+						g.sumIsInt[j] = t[keyCols+j].Kind == engine.TypeInt
+					}
+				}
+				groups[k] = g
+				order = append(order, k)
+				continue
+			}
+			for j, op := range ops {
+				if err := g.fold(j, keyCols+j, op, t[keyCols+j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	out := engine.NewRelation(parts[0].Schema)
+	for _, k := range order {
+		out.Tuples = append(out.Tuples, groups[k].row)
+	}
+	return out, nil
+}
+
+// mergeGroup accumulates one output group across shards. sumIsInt
+// tracks, per op, whether every SUM partial folded so far was INT — the
+// condition for the merged SUM to stay INT.
+type mergeGroup struct {
+	row      engine.Tuple
+	sumIsInt []bool
+}
+
+func (g *mergeGroup) fold(j, c int, op MergeOp, v engine.Value) error {
+	cur := g.row[c]
+	switch op {
+	case MergeKey:
+		return nil
+	case MergeCount:
+		if cur.Kind != engine.TypeInt || v.Kind != engine.TypeInt {
+			return fmt.Errorf("shard: COUNT partial is not INT (%v, %v)", cur.Kind, v.Kind)
+		}
+		g.row[c] = engine.NewInt(cur.I + v.I)
+		return nil
+	case MergeSum:
+		if v.IsNull() {
+			return nil
+		}
+		if cur.IsNull() {
+			g.row[c] = v
+			g.sumIsInt[j] = v.Kind == engine.TypeInt
+			return nil
+		}
+		if g.sumIsInt[j] && v.Kind == engine.TypeInt {
+			g.row[c] = engine.NewInt(cur.I + v.I)
+			return nil
+		}
+		g.sumIsInt[j] = false
+		g.row[c] = engine.NewFloat(cur.AsFloat() + v.AsFloat())
+		return nil
+	case MergeMin:
+		if v.IsNull() {
+			return nil
+		}
+		if cur.IsNull() || engine.Compare(v, cur) < 0 {
+			g.row[c] = v
+		}
+		return nil
+	case MergeMax:
+		if v.IsNull() {
+			return nil
+		}
+		if cur.IsNull() || engine.Compare(v, cur) > 0 {
+			g.row[c] = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("shard: unknown merge op %d", op)
+	}
+}

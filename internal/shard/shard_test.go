@@ -1,0 +1,333 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func testRelation(rows int) *engine.Relation {
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("k", engine.TypeInt),
+		engine.Col("v", engine.TypeFloat),
+		engine.Col("s", engine.TypeString),
+	))
+	for i := 0; i < rows; i++ {
+		s := engine.NewString(fmt.Sprintf("s%d", i%5))
+		if i%7 == 0 {
+			s = engine.Null
+		}
+		_ = rel.Append(engine.Tuple{
+			engine.NewInt(int64(i * 3 % 17)),
+			engine.NewFloat(float64(i) / 2),
+			s,
+		})
+	}
+	return rel
+}
+
+func relEqual(a, b *engine.Relation) error {
+	if !a.Schema.Equal(b.Schema) {
+		return fmt.Errorf("schema %s != %s", a.Schema, b.Schema)
+	}
+	if a.Len() != b.Len() {
+		return fmt.Errorf("cardinality %d != %d", a.Len(), b.Len())
+	}
+	for i := range a.Tuples {
+		for j := range a.Tuples[i] {
+			av, bv := a.Tuples[i][j], b.Tuples[i][j]
+			if av.Kind != bv.Kind || engine.Compare(av, bv) != 0 {
+				return fmt.Errorf("row %d col %d: %v != %v", i, j, av, bv)
+			}
+		}
+	}
+	return nil
+}
+
+// Split then Gather must be the identity, order included, for both
+// strategies and any shard count.
+func TestSplitGatherRoundTrip(t *testing.T) {
+	rel := testRelation(57)
+	specs := []Spec{
+		HashSpec("k", 1),
+		HashSpec("k", 2),
+		HashSpec("k", 4),
+		HashSpec("s", 3), // string key with NULLs
+		RangeSpec("k", engine.NewInt(5), engine.NewInt(11)),
+		RangeSpec("v", engine.NewFloat(9)),
+	}
+	for _, spec := range specs {
+		t.Run(fmt.Sprintf("%v-%s-%d", spec.Strategy, spec.Key, spec.Shards), func(t *testing.T) {
+			parts, err := Split(rel, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(parts) != spec.Shards {
+				t.Fatalf("got %d parts, want %d", len(parts), spec.Shards)
+			}
+			total := 0
+			for _, p := range parts {
+				total += p.Len()
+			}
+			if total != rel.Len() {
+				t.Fatalf("parts hold %d rows, want %d", total, rel.Len())
+			}
+			back, err := Gather(parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := relEqual(rel, back); err != nil {
+				t.Fatalf("round trip not identity: %v", err)
+			}
+		})
+	}
+}
+
+// Gather must restore order even when parts arrive permuted (shards
+// answer in any order).
+func TestGatherPermutedParts(t *testing.T) {
+	rel := testRelation(20)
+	parts, err := Split(rel, HashSpec("k", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts[0], parts[2] = parts[2], parts[0]
+	back, err := Gather(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relEqual(rel, back); err != nil {
+		t.Fatalf("permuted gather: %v", err)
+	}
+}
+
+func TestAssignDeterministicAndInRange(t *testing.T) {
+	spec := HashSpec("k", 4)
+	vals := []engine.Value{
+		engine.NewInt(0), engine.NewInt(-3), engine.NewFloat(1.5),
+		engine.NewString("oak"), engine.NewBool(true), engine.Null,
+	}
+	for _, v := range vals {
+		a, b := spec.Assign(v), spec.Assign(v)
+		if a != b {
+			t.Fatalf("assign not deterministic for %v: %d vs %d", v, a, b)
+		}
+		if a < 0 || a >= spec.Shards {
+			t.Fatalf("assign out of range for %v: %d", v, a)
+		}
+	}
+	// Kind-tagged hashing: Int 1 and Float 1.0 need not collide, but
+	// NULL always lands on shard 0.
+	if got := spec.Assign(engine.Null); got != 0 {
+		t.Fatalf("NULL assigned to shard %d, want 0", got)
+	}
+}
+
+func TestRangeAssign(t *testing.T) {
+	spec := RangeSpec("k", engine.NewInt(10), engine.NewInt(20))
+	cases := []struct {
+		v    engine.Value
+		want int
+	}{
+		{engine.NewInt(-5), 0},
+		{engine.NewInt(9), 0},
+		{engine.NewInt(10), 1},
+		{engine.NewInt(19), 1},
+		{engine.NewInt(20), 2},
+		{engine.NewInt(1000), 2},
+		{engine.Null, 0},
+	}
+	for _, c := range cases {
+		if got := spec.Assign(c.v); got != c.want {
+			t.Fatalf("assign(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{},                                     // no key
+		{Key: "k", Shards: 0},                  // no shards
+		{Key: "k", Shards: 3, Strategy: Range}, // missing bounds
+		{Key: "k", Shards: 2, Strategy: Range,
+			Bounds: []engine.Value{engine.NewInt(1), engine.NewInt(0)}}, // wrong count
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: bad spec validated", i)
+		}
+	}
+	if err := RangeSpec("k", engine.NewInt(3), engine.NewInt(1)).Validate(); err == nil {
+		t.Fatal("descending bounds validated")
+	}
+	if err := HashSpec("k", 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRejectsBadInput(t *testing.T) {
+	rel := testRelation(4)
+	if _, err := Split(rel, HashSpec("nope", 2)); err == nil {
+		t.Fatal("unknown key column accepted")
+	}
+	parts, err := Split(rel, HashSpec("k", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A partition already carries __gpos; re-splitting one must refuse.
+	if _, err := Split(parts[0], HashSpec("k", 2)); err == nil {
+		t.Fatal("double split accepted")
+	}
+}
+
+func TestUnionSchemaMismatch(t *testing.T) {
+	a := engine.NewRelation(engine.NewSchema(engine.Col("a", engine.TypeInt)))
+	b := engine.NewRelation(engine.NewSchema(engine.Col("b", engine.TypeInt)))
+	if _, err := Union([]*engine.Relation{a, b}); err == nil {
+		t.Fatal("union of mismatched schemas accepted")
+	}
+}
+
+func TestUnionBatches(t *testing.T) {
+	rel := testRelation(30)
+	parts, err := Split(rel, HashSpec("k", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := make([]*engine.ColumnBatch, len(parts))
+	for i, p := range parts {
+		batches[i] = engine.BatchFromRelation(p)
+	}
+	merged, err := UnionBatches(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumRows != rel.Len() {
+		t.Fatalf("merged batch has %d rows, want %d", merged.NumRows, rel.Len())
+	}
+	back, err := Gather([]*engine.Relation{merged.ToRelation()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := relEqual(rel, back); err != nil {
+		t.Fatalf("batch union gather: %v", err)
+	}
+}
+
+// Merge of partial aggregates: COUNT sums, SUM skips NULL partials and
+// keeps INT typing only while all partials are INT, MIN/MAX compare.
+func TestMergeAggregateGlobal(t *testing.T) {
+	mk := func(count int64, sum, min, max engine.Value) *engine.Relation {
+		rel := engine.NewRelation(engine.NewSchema(
+			engine.Col("n", engine.TypeInt), engine.Col("s", engine.TypeInt),
+			engine.Col("lo", engine.TypeInt), engine.Col("hi", engine.TypeInt)))
+		_ = rel.Append(engine.Tuple{engine.NewInt(count), sum, min, max})
+		return rel
+	}
+	parts := []*engine.Relation{
+		mk(3, engine.NewInt(6), engine.NewInt(1), engine.NewInt(3)),
+		mk(0, engine.Null, engine.Null, engine.Null), // empty shard
+		mk(2, engine.NewInt(9), engine.NewInt(4), engine.NewInt(5)),
+	}
+	out, err := MergeAggregate(parts, 0, []MergeOp{MergeCount, MergeSum, MergeMin, MergeMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("got %d rows, want 1", out.Len())
+	}
+	row := out.Tuples[0]
+	if row[0].I != 5 || row[1].Kind != engine.TypeInt || row[1].I != 15 || row[2].I != 1 || row[3].I != 5 {
+		t.Fatalf("bad merged row: %v", row)
+	}
+
+	// Any FLOAT partial demotes the merged SUM to FLOAT.
+	parts[2].Tuples[0][1] = engine.NewFloat(9.5)
+	out, err = MergeAggregate(parts, 0, []MergeOp{MergeCount, MergeSum, MergeMin, MergeMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Tuples[0][1]; got.Kind != engine.TypeFloat || got.F != 15.5 {
+		t.Fatalf("merged float sum: %v", got)
+	}
+
+	// All-NULL partials fold to NULL.
+	parts = []*engine.Relation{
+		mk(0, engine.Null, engine.Null, engine.Null),
+		mk(0, engine.Null, engine.Null, engine.Null),
+	}
+	out, err = MergeAggregate(parts, 0, []MergeOp{MergeCount, MergeSum, MergeMin, MergeMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row = out.Tuples[0]
+	if row[0].I != 0 || !row[1].IsNull() || !row[2].IsNull() || !row[3].IsNull() {
+		t.Fatalf("all-empty merge: %v", row)
+	}
+}
+
+func TestMergeAggregateGrouped(t *testing.T) {
+	mk := func(rows ...[3]int64) *engine.Relation {
+		rel := engine.NewRelation(engine.NewSchema(
+			engine.Col("g", engine.TypeInt), engine.Col("n", engine.TypeInt),
+			engine.Col("s", engine.TypeInt)))
+		for _, r := range rows {
+			_ = rel.Append(engine.Tuple{engine.NewInt(r[0]), engine.NewInt(r[1]), engine.NewInt(r[2])})
+		}
+		return rel
+	}
+	parts := []*engine.Relation{
+		mk([3]int64{1, 2, 10}, [3]int64{2, 1, 5}),
+		mk([3]int64{2, 3, 7}, [3]int64{3, 1, 1}),
+	}
+	out, err := MergeAggregate(parts, 1, []MergeOp{MergeCount, MergeSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64][2]int64{}
+	for _, r := range out.Tuples {
+		got[r[0].I] = [2]int64{r[1].I, r[2].I}
+	}
+	want := map[int64][2]int64{1: {2, 10}, 2: {4, 12}, 3: {1, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d: %v", len(got), len(want), got)
+	}
+	for g, w := range want {
+		if got[g] != w {
+			t.Fatalf("group %d: got %v, want %v", g, got[g], w)
+		}
+	}
+}
+
+// Kind-tagged grouping: Int 1 and Float 1.0 are distinct groups, as in
+// the relational executor.
+func TestMergeAggregateKindTaggedKeys(t *testing.T) {
+	rel := engine.NewRelation(engine.NewSchema(
+		engine.Col("g", engine.TypeFloat), engine.Col("n", engine.TypeInt)))
+	_ = rel.Append(engine.Tuple{engine.NewInt(1), engine.NewInt(2)})
+	_ = rel.Append(engine.Tuple{engine.NewFloat(1), engine.NewInt(3)})
+	out, err := MergeAggregate([]*engine.Relation{rel}, 1, []MergeOp{MergeCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("Int 1 and Float 1.0 merged into %d groups, want 2", out.Len())
+	}
+}
+
+func TestMergeAggregateShapeErrors(t *testing.T) {
+	rel := engine.NewRelation(engine.NewSchema(engine.Col("n", engine.TypeInt)))
+	_ = rel.Append(engine.Tuple{engine.NewInt(1)})
+	_ = rel.Append(engine.Tuple{engine.NewInt(2)})
+	// keyCols 0 demands exactly one row per part.
+	if _, err := MergeAggregate([]*engine.Relation{rel}, 0, []MergeOp{MergeCount}); err == nil {
+		t.Fatal("two-row global aggregate part accepted")
+	}
+	if _, err := MergeAggregate([]*engine.Relation{rel}, 1, []MergeOp{MergeCount}); err == nil {
+		t.Fatal("ops wider than schema accepted")
+	}
+	if _, err := MergeAggregate(nil, 0, nil); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+}
